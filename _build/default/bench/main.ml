@@ -1,0 +1,156 @@
+(* Bechamel benchmarks: one test per reproduced artifact family, so the cost
+   of every machine in the pipeline is tracked.
+
+   - cdg/*        building dependency graphs and enumerating cycles
+                  (the static machinery behind Figures 1-3)
+   - classify/*   the Theorem-2..5 classifiers
+   - sim/*        the flit-level engine on substrate workloads (EXP-S1/S2)
+   - search/*     the adversarial schedule searches (EXP-F1, EXP-T4, EXP-T5)
+   - family/*     the Section-6 minimum-delay probe (EXP-G)
+
+   Run with: dune exec bench/main.exe *)
+
+module Sim_measure = Measure (* keep wr_workload's Measure reachable under open Bechamel *)
+
+open Bechamel
+open Toolkit
+
+(* ---- prebuilt inputs (construction cost is not what we measure) ---- *)
+
+let mesh8 = Builders.mesh [ 8; 8 ]
+let mesh8_rt = Dimension_order.mesh mesh8
+let torus5 = Builders.torus [ 5; 5 ]
+let torus5_rt = Dimension_order.torus torus5
+let fig1 = Paper_nets.figure1 ()
+let fig1_rt = Cd_algorithm.of_net fig1
+let fig1_cdg = Cdg.build fig1_rt
+let fig2 = Paper_nets.figure2 ()
+let fig2_rt = Cd_algorithm.of_net fig2
+let fig3c = Paper_nets.figure3 `C
+let fig3c_rt = Cd_algorithm.of_net fig3c
+let fig3c_cdg = Cdg.build fig3c_rt
+
+let mesh_schedule =
+  let rng = Rng.create 11 in
+  let pattern = Traffic.uniform rng mesh8 in
+  Traffic.bernoulli_schedule rng pattern ~coords:mesh8 ~rate:0.02 ~length:4 ~horizon:300
+
+let tornado_schedule =
+  Traffic.permutation_schedule (Traffic.tornado torus5) ~coords:torus5 ~length:8
+
+(* Trimmed Figure-1 search: injection orders under the order-following
+   adversary -- a deterministic, meaningful slice of EXP-F1. *)
+let fig1_quick_space =
+  let templates = List.map (fun i -> Explorer.intent_template ~extra:[ -1 ] fig1 i) fig1.intents in
+  {
+    (Explorer.default_space templates) with
+    gaps = [ 0 ];
+    buffers = [ 1 ];
+    priorities = Explorer.Follow_order;
+  }
+
+let fig2_space =
+  let templates = List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents in
+  Explorer.default_space templates
+
+let tests =
+  Test.make_grouped ~name:"wormhole"
+    [
+      Test.make ~name:"cdg/build-mesh8x8" (Staged.stage (fun () -> Cdg.build mesh8_rt));
+      Test.make ~name:"cdg/build-figure1" (Staged.stage (fun () -> Cdg.build fig1_rt));
+      Test.make ~name:"cdg/cycles-figure1"
+        (Staged.stage (fun () -> Cdg.elementary_cycles fig1_cdg));
+      Test.make ~name:"cdg/cycles-torus5x5"
+        (Staged.stage
+           (let cdg = Cdg.build torus5_rt in
+            fun () -> Cdg.elementary_cycles cdg));
+      Test.make ~name:"classify/figure1-cycle"
+        (Staged.stage
+           (let cycle = List.hd (Cdg.elementary_cycles fig1_cdg) in
+            fun () -> Cycle_analysis.classify fig1_cdg cycle));
+      Test.make ~name:"classify/theorem5-figure3c"
+        (Staged.stage
+           (let cycle = List.hd (Cdg.elementary_cycles fig3c_cdg) in
+            fun () -> Cycle_analysis.classify fig3c_cdg cycle));
+      Test.make ~name:"properties/coherent-mesh8x8"
+        (Staged.stage (fun () -> Properties.coherent mesh8_rt));
+      Test.make ~name:"sim/mesh8x8-uniform-300c"
+        (Staged.stage (fun () -> Sim_measure.run mesh8_rt mesh_schedule));
+      Test.make ~name:"sim/torus5x5-tornado-deadlock"
+        (Staged.stage (fun () -> Engine.run torus5_rt tornado_schedule));
+      Test.make ~name:"search/figure1-order-sweep"
+        (Staged.stage (fun () -> Explorer.explore fig1_rt fig1_quick_space));
+      Test.make ~name:"search/figure2-witness"
+        (Staged.stage (fun () -> Explorer.explore fig2_rt fig2_space));
+      Test.make ~name:"family/min-delay-p1"
+        (Staged.stage
+           (let net = Paper_nets.family 1 in
+            fun () -> Min_delay.search ~max_h:2 net));
+      Test.make ~name:"classify/message-flow-figure1"
+        (Staged.stage (fun () -> Message_flow.analyze fig1_rt));
+      Test.make ~name:"classify/duato-mesh4x4"
+        (Staged.stage
+           (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
+            let ad = Adaptive.duato_mesh mesh2 in
+            let escape = Adaptive.escape_of_duato_mesh mesh2 in
+            fun () -> Duato.check ad ~escape));
+      Test.make ~name:"sim/adaptive-duato-stress"
+        (Staged.stage
+           (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
+            let ad = Adaptive.duato_mesh mesh2 in
+            let rng = Rng.create 13 in
+            let pattern = Traffic.uniform rng mesh2 in
+            let sched =
+              Traffic.bernoulli_schedule rng pattern ~coords:mesh2 ~rate:0.05 ~length:4
+                ~horizon:150
+            in
+            fun () -> Adaptive_engine.run ad sched));
+      Test.make ~name:"search/model-check-figure1"
+        (Staged.stage
+           (let net = Paper_nets.figure1 () in
+            fun () -> Model_checker.check_net ~extra:[ 0 ] net));
+      (* ablation: the arbitration-adversary dimension of the search *)
+      Test.make ~name:"search/figure2-fifo-only"
+        (Staged.stage
+           (let templates =
+              List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents
+            in
+            let sp = { (Explorer.default_space templates) with priorities = Explorer.Fifo_only } in
+            fun () -> Explorer.explore fig2_rt sp));
+    ]
+
+let benchmark () =
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let () =
+  let results = benchmark () in
+  let table = Table.create ~aligns:[ Table.Left; Table.Right ] [ "benchmark"; "time/run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          rows := (name, est) :: !rows)
+        tbl)
+    results;
+  let human ns =
+    if Float.is_nan ns then "n/a"
+    else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+    else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else Printf.sprintf "%.2f s" (ns /. 1e9)
+  in
+  List.iter
+    (fun (name, est) -> Table.add_row table [ name; human est ])
+    (List.sort compare !rows);
+  Table.print table

@@ -1,0 +1,1 @@
+bin/cdg_tool.ml: Arg Array Builders Cd_algorithm Cmd Cmdliner Dimension_order Dot Format List Model_checker Paper_nets Printf Ring_routing Routing String Term Topology Turn_model Verify

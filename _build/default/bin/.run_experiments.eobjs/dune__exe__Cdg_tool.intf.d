@@ -1,0 +1,1 @@
+bin/cdg_tool.mli:

@@ -1,0 +1,1 @@
+bin/wormsim.ml: Adaptive Adaptive_engine Arg Builders Cmd Cmdliner Dimension_order Engine Format List Measure Printf Ring_routing Rng Routing String Term Traffic Turn_model

@@ -1,0 +1,84 @@
+(* Regenerate every paper artifact (EXPERIMENTS.md is the captured output).
+
+   Usage: experiments [EXPERIMENT...] [--quick] [--max-p N]
+
+   With no arguments, runs the full suite. *)
+
+open Cmdliner
+
+let known =
+  [
+    ("exp-f1", `F1);
+    ("exp-t2", `T2);
+    ("exp-corollaries", `C);
+    ("exp-t3", `T3);
+    ("exp-t4", `T4);
+    ("exp-t5", `T5);
+    ("exp-g", `G);
+    ("exp-s1", `S1);
+    ("exp-s2", `S2);
+    ("exp-mfm", `MFM);
+    ("exp-a", `A);
+    ("exp-sw", `SW);
+    ("exp-mc", `MC);
+  ]
+
+let run_one ~quick ~max_p ppf = function
+  | `F1 -> Experiments.exp_f1 ~quick ppf
+  | `T2 -> Experiments.exp_t2 ~quick ppf
+  | `C -> Experiments.exp_corollaries ~quick ppf
+  | `T3 -> Experiments.exp_t3 ~quick ppf
+  | `T4 -> Experiments.exp_t4 ~quick ppf
+  | `T5 -> Experiments.exp_t5 ~quick ppf
+  | `G -> Experiments.exp_g ~quick ?max_p ppf
+  | `S1 -> Experiments.exp_s1 ~quick ppf
+  | `S2 -> Experiments.exp_s2 ~quick ppf
+  | `MFM -> Experiments.exp_mfm ~quick ppf
+  | `A -> Experiments.exp_a ~quick ppf
+  | `SW -> Experiments.exp_sw ~quick ppf
+  | `MC -> Experiments.exp_mc ~quick ppf
+
+let main names quick max_p =
+  let ppf = Format.std_formatter in
+  let selected =
+    match names with
+    | [] -> List.map snd known
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n known with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %s (known: %s)\n" n
+              (String.concat ", " (List.map fst known));
+            exit 2)
+        names
+  in
+  let rows = List.concat_map (run_one ~quick ~max_p ppf) selected in
+  Format.fprintf ppf "@\n=== Summary ===@\n%s@?" (Experiments.summary_table rows);
+  let failed = List.filter (fun r -> not r.Experiments.x_ok) rows in
+  if failed <> [] then begin
+    Format.fprintf ppf "@\n%d claim(s) FAILED@." (List.length failed);
+    exit 1
+  end;
+  Format.fprintf ppf "@\nall %d claims reproduced@." (List.length rows)
+
+let names_arg =
+  let doc = "Experiments to run (default: all).  One of exp-f1, exp-t2, exp-corollaries, \
+             exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-mc." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc = "Trim search spaces for a fast pass (seconds instead of minutes)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let max_p_arg =
+  let doc = "Largest Section-6 family parameter for exp-g." in
+  Arg.(value & opt (some int) None & info [ "max-p" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "regenerate the paper's figures and theorem checks" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const main $ names_arg $ quick_arg $ max_p_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,143 @@
+(* Flit-level wormhole simulation CLI.
+
+   Examples:
+     wormsim --topology mesh --dims 8x8 --routing xy --pattern uniform --rate 0.02
+     wormsim --topology torus --dims 5x5 --routing ecube --pattern tornado --permutation
+     wormsim --topology ring --dims 6 --routing clockwise --permutation *)
+
+open Cmdliner
+
+type built = {
+  coords : Builders.coords;
+  routing : [ `Oblivious of Routing.t | `Adaptive of Adaptive.t ];
+}
+
+let build topology dims routing =
+  let dims_list =
+    String.split_on_char 'x' dims
+    |> List.map (fun s ->
+           match int_of_string_opt (String.trim s) with
+           | Some n -> n
+           | None -> failwith ("bad dimension: " ^ s))
+  in
+  match (topology, routing) with
+  | "mesh", "xy" ->
+    let coords = Builders.mesh dims_list in
+    { coords; routing = `Oblivious (Dimension_order.mesh coords) }
+  | "mesh", "west-first" ->
+    let coords = Builders.mesh dims_list in
+    { coords; routing = `Oblivious (Turn_model.west_first coords) }
+  | "mesh", "north-last" ->
+    let coords = Builders.mesh dims_list in
+    { coords; routing = `Oblivious (Turn_model.north_last coords) }
+  | "mesh", "negative-first" ->
+    let coords = Builders.mesh dims_list in
+    { coords; routing = `Oblivious (Turn_model.negative_first coords) }
+  | "mesh", "adaptive" ->
+    let coords = Builders.mesh dims_list in
+    { coords; routing = `Adaptive (Adaptive.fully_adaptive_minimal coords) }
+  | "mesh", "duato" ->
+    let coords = Builders.mesh ~vcs:2 dims_list in
+    { coords; routing = `Adaptive (Adaptive.duato_mesh coords) }
+  | "torus", "ecube" ->
+    let coords = Builders.torus dims_list in
+    { coords; routing = `Oblivious (Dimension_order.torus coords) }
+  | "torus", "dateline" ->
+    let coords = Builders.torus ~vcs:2 dims_list in
+    { coords; routing = `Oblivious (Dimension_order.torus ~datelines:true coords) }
+  | "hypercube", "ecube" ->
+    let coords = Builders.hypercube (List.hd dims_list) in
+    { coords; routing = `Oblivious (Dimension_order.hypercube coords) }
+  | "ring", "clockwise" ->
+    let coords = Builders.ring ~unidirectional:true (List.hd dims_list) in
+    { coords; routing = `Oblivious (Ring_routing.clockwise coords) }
+  | "ring", "dateline" ->
+    let coords = Builders.ring ~unidirectional:true ~vcs:2 (List.hd dims_list) in
+    { coords; routing = `Oblivious (Ring_routing.dateline coords) }
+  | t, r -> failwith (Printf.sprintf "unsupported topology/routing combination %s/%s" t r)
+
+let pattern_of coords rng = function
+  | "uniform" -> Traffic.uniform rng coords
+  | "transpose" -> Traffic.transpose coords
+  | "bit-complement" -> Traffic.bit_complement coords
+  | "bit-reverse" -> Traffic.bit_reverse coords
+  | "tornado" -> Traffic.tornado coords
+  | "neighbor" -> Traffic.neighbor coords
+  | "hotspot" -> Traffic.hotspot rng coords 0
+  | p -> failwith ("unknown pattern: " ^ p)
+
+let main topology dims routing pattern rate length horizon permutation seed buffer =
+  try
+    let { coords; routing = algo } = build topology dims routing in
+    (match algo with
+    | `Oblivious rt -> (
+      match Routing.validate rt with
+      | Ok () -> ()
+      | Error e -> failwith ("routing invalid: " ^ e))
+    | `Adaptive ad -> (
+      match Adaptive.validate ad with
+      | Ok () -> ()
+      | Error e -> failwith ("adaptive routing invalid: " ^ e)));
+    let rng = Rng.create seed in
+    let pat = pattern_of coords rng pattern in
+    let sched =
+      if permutation then Traffic.permutation_schedule pat ~coords ~length
+      else Traffic.bernoulli_schedule rng pat ~coords ~rate ~length ~horizon
+    in
+    Printf.printf "topology=%s dims=%s routing=%s pattern=%s messages=%d\n" topology dims
+      routing pat.Traffic.name (List.length sched);
+    let config = { Engine.default_config with buffer_capacity = buffer } in
+    (match algo with
+    | `Oblivious rt ->
+      let report = Measure.run ~config rt sched in
+      Format.printf "%a@." Measure.pp report;
+      if report.Measure.deadlocked then exit 3
+    | `Adaptive ad -> (
+      match Adaptive_engine.run ~config ad sched with
+      | Adaptive_engine.All_delivered { finished_at; messages } ->
+        Format.printf "%d/%d delivered in %d cycles (adaptive)@." (List.length messages)
+          (List.length sched) finished_at
+      | o ->
+        Format.printf "%a@." (Adaptive_engine.pp_outcome coords.Builders.topo) o;
+        if Adaptive_engine.is_deadlock o then exit 3))
+  with Failure msg ->
+    Printf.eprintf "wormsim: %s\n" msg;
+    exit 2
+
+let topo_arg =
+  Arg.(value & opt string "mesh" & info [ "topology" ] ~docv:"T" ~doc:"mesh, torus, hypercube or ring")
+
+let dims_arg =
+  Arg.(value & opt string "8x8" & info [ "dims" ] ~docv:"DxD" ~doc:"dimensions, e.g. 8x8 (hypercube/ring take one number)")
+
+let routing_arg =
+  Arg.(value & opt string "xy" & info [ "routing" ] ~docv:"R" ~doc:"xy, west-first, north-last, negative-first, adaptive, duato, ecube, dateline or clockwise")
+
+let pattern_arg =
+  Arg.(value & opt string "uniform" & info [ "pattern" ] ~docv:"P" ~doc:"uniform, transpose, bit-complement, bit-reverse, tornado, neighbor, hotspot")
+
+let rate_arg =
+  Arg.(value & opt float 0.02 & info [ "rate" ] ~docv:"R" ~doc:"per-node injection probability per cycle")
+
+let length_arg =
+  Arg.(value & opt int 4 & info [ "length" ] ~docv:"FLITS" ~doc:"message length in flits")
+
+let horizon_arg =
+  Arg.(value & opt int 1000 & info [ "horizon" ] ~docv:"CYCLES" ~doc:"injection horizon")
+
+let permutation_arg =
+  Arg.(value & flag & info [ "permutation" ] ~doc:"one message per node at cycle 0 instead of Bernoulli traffic")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+
+let buffer_arg =
+  Arg.(value & opt int 1 & info [ "buffer" ] ~docv:"FLITS" ~doc:"flit buffer capacity per channel")
+
+let cmd =
+  let doc = "simulate wormhole routing on a classic topology" in
+  Cmd.v (Cmd.info "wormsim" ~doc)
+    Term.(
+      const main $ topo_arg $ dims_arg $ routing_arg $ pattern_arg $ rate_arg $ length_arg
+      $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg)
+
+let () = exit (Cmd.eval cmd)

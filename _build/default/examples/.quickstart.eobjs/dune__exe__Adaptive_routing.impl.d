@@ -1,0 +1,1 @@
+examples/adaptive_routing.ml: Adaptive Adaptive_engine Array Builders Dimension_order Duato Engine Format List Scc Schedule Topology Trace

@@ -1,0 +1,1 @@
+examples/cyclic_dependency.ml: Cd_algorithm Cdg Engine Explorer Format List Paper_nets Properties Routing Schedule Topology

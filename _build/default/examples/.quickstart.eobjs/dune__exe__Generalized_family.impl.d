@@ -1,0 +1,1 @@
+examples/generalized_family.ml: Array List Min_delay Paper_nets Printf Table Topology

@@ -1,0 +1,1 @@
+examples/generalized_family.mli:

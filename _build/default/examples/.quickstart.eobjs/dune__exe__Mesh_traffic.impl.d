@@ -1,0 +1,1 @@
+examples/mesh_traffic.ml: Builders Dimension_order List Measure Printf Rng Table Traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builders Cdg Dimension_order Engine Format List Routing Schedule Topology

@@ -1,0 +1,1 @@
+examples/theorem5_conditions.ml: Cd_algorithm Cdg Cycle_analysis Format List Model_checker Paper_nets Theorem5 Topology

@@ -1,0 +1,1 @@
+examples/theorem5_conditions.mli:

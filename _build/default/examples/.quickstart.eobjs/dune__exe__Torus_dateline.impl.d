@@ -1,0 +1,1 @@
+examples/torus_dateline.ml: Builders Cdg Dimension_order Engine Format Traffic

@@ -1,0 +1,1 @@
+lib/cdg/cdg.ml: Array Format Hashtbl List Routing Scc String Topology

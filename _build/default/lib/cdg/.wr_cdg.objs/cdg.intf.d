@@ -1,0 +1,1 @@
+lib/cdg/cdg.mli: Format Routing Topology

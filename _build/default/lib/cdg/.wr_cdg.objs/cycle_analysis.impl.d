@@ -1,0 +1,1 @@
+lib/cdg/cycle_analysis.ml: Array Cdg Format Hashtbl List Printf String Theorem5 Topology

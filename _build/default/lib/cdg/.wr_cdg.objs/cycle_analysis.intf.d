@@ -1,0 +1,1 @@
+lib/cdg/cycle_analysis.mli: Cdg Format Topology

@@ -1,0 +1,1 @@
+lib/cdg/duato.ml: Adaptive Array Format Hashtbl List Printf Queue Routing Scc Topology

@@ -1,0 +1,1 @@
+lib/cdg/duato.mli: Adaptive Format Routing

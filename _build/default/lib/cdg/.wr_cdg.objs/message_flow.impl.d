@@ -1,0 +1,1 @@
+lib/cdg/message_flow.ml: Array Cdg Format List Routing Topology

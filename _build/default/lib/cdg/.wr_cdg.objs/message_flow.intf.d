@@ -1,0 +1,1 @@
+lib/cdg/message_flow.mli: Format Routing Topology

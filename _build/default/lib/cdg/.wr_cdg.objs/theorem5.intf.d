@@ -1,0 +1,1 @@
+lib/cdg/theorem5.mli:

@@ -1,0 +1,123 @@
+type report = {
+  escape_connected : bool;
+  connected_witness : string option;
+  direct_edges : int;
+  indirect_edges : int;
+  extended_acyclic : bool;
+  deadlock_free : bool;
+}
+
+(* Enumerate the adaptive function's reachable (input, dest) states. *)
+let reachable_states adaptive =
+  let topo = Adaptive.topology adaptive in
+  let n = Topology.num_nodes topo in
+  let seen = Hashtbl.create 1024 in
+  let order = ref [] in
+  let rec visit input dest =
+    if not (Hashtbl.mem seen (input, dest)) then begin
+      Hashtbl.add seen (input, dest) ();
+      order := (input, dest) :: !order;
+      let here = Routing.current_node topo input in
+      if here <> dest then
+        List.iter (fun c -> visit (Routing.From c) dest) (Adaptive.options adaptive input dest)
+    end
+  in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then visit (Routing.Inject s) d
+    done
+  done;
+  List.rev !order
+
+let check adaptive ~escape =
+  let topo = Adaptive.topology adaptive in
+  let states = reachable_states adaptive in
+  (* the set of escape channels = every channel the escape subfunction can
+     produce in a reachable state *)
+  let is_escape = Hashtbl.create 64 in
+  let connected = ref true in
+  let witness = ref None in
+  List.iter
+    (fun (input, dest) ->
+      let here = Routing.current_node topo input in
+      if here <> dest then begin
+        match Routing.next escape input dest with
+        | Some esc ->
+          Hashtbl.replace is_escape esc ();
+          if not (List.mem esc (Adaptive.options adaptive input dest)) then begin
+            if !witness = None then
+              witness :=
+                Some
+                  (Printf.sprintf "escape %s not offered at %s toward %s"
+                     (Topology.channel_name topo esc) (Topology.node_name topo here)
+                     (Topology.node_name topo dest));
+            connected := false
+          end
+        | None ->
+          if !witness = None then
+            witness :=
+              Some
+                (Printf.sprintf "escape subfunction undefined at %s toward %s"
+                   (Topology.node_name topo here) (Topology.node_name topo dest));
+          connected := false
+      end)
+    states;
+  (* Extended dependencies between escape channels, per destination: from
+     escape channel c1 toward dest, walk all adaptive continuations; any
+     escape channel reached is a dependency (directly adjacent = direct,
+     through >= 1 non-escape channel = indirect). *)
+  let direct = Hashtbl.create 256 in
+  let indirect = Hashtbl.create 256 in
+  let n = Topology.num_nodes topo in
+  List.iter
+    (fun (input, dest) ->
+      match input with
+      | Routing.Inject _ -> ()
+      | Routing.From c1 when Hashtbl.mem is_escape c1 ->
+        if Topology.dst topo c1 <> dest then begin
+          (* BFS over non-escape continuations *)
+          let visited = Hashtbl.create 16 in
+          let q = Queue.create () in
+          List.iter
+            (fun c2 -> Queue.add (c2, true) q)
+            (Adaptive.options adaptive input dest);
+          while not (Queue.is_empty q) do
+            let c, is_first = Queue.pop q in
+            if not (Hashtbl.mem visited c) then begin
+              Hashtbl.add visited c ();
+              if Hashtbl.mem is_escape c then
+                Hashtbl.replace (if is_first then direct else indirect) (c1, c) ()
+              else if Topology.dst topo c <> dest then
+                List.iter
+                  (fun c' -> Queue.add (c', false) q)
+                  (Adaptive.options adaptive (Routing.From c) dest)
+            end
+          done
+        end
+      | Routing.From _ -> ())
+    states;
+  ignore n;
+  (* acyclicity of the union graph over escape channels *)
+  let nchan = Topology.num_channels topo in
+  let succs = Array.make nchan [] in
+  let add (c1, c2) = succs.(c1) <- c2 :: succs.(c1) in
+  Hashtbl.iter (fun e () -> add e) direct;
+  Hashtbl.iter (fun e () -> if not (Hashtbl.mem direct e) then add e) indirect;
+  let acyclic = not (Scc.has_cycle ~n:nchan ~succ:(fun c -> succs.(c))) in
+  {
+    escape_connected = !connected;
+    connected_witness = !witness;
+    direct_edges = Hashtbl.length direct;
+    indirect_edges = Hashtbl.length indirect;
+    extended_acyclic = acyclic;
+    deadlock_free = !connected && acyclic;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "Duato: escape connected=%b, extended CDG %d direct + %d indirect edges, acyclic=%b -> %s"
+    r.escape_connected r.direct_edges r.indirect_edges r.extended_acyclic
+    (if r.deadlock_free then "deadlock-free" else "not certified");
+  match r.connected_witness with
+  | Some w -> Format.fprintf ppf " (%s)" w
+  | None -> ()

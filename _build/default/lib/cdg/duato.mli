@@ -1,0 +1,30 @@
+(** Duato's sufficient condition for deadlock-free adaptive routing
+    (the adaptive-side theory the paper builds on, Section 2).
+
+    An adaptive algorithm is deadlock-free if it has a {e routing
+    subfunction} (the escape channels) that is connected -- offered in every
+    reachable routing state -- and whose {e extended} channel dependency
+    graph is acyclic.  The extended CDG contains, besides the direct
+    dependencies between consecutive escape channels, the {e indirect}
+    dependencies: escape channel [c1] to escape channel [c2] when some
+    message can use [c1], then one or more adaptive channels, then [c2].
+
+    This module checks both parts mechanically over the reachable state
+    graph of the adaptive function. *)
+
+type report = {
+  escape_connected : bool;
+      (** the escape next-channel is offered in every reachable state *)
+  connected_witness : string option;  (** a state where it is not *)
+  direct_edges : int;  (** escape-to-escape direct dependencies *)
+  indirect_edges : int;  (** escape-to-escape dependencies through adaptive channels *)
+  extended_acyclic : bool;
+  deadlock_free : bool;  (** both conditions hold *)
+}
+
+val check : Adaptive.t -> escape:Routing.t -> report
+(** The escape subfunction must be defined on the same topology; it is
+    queried as a node-based function ([Routing.next] on the adaptive
+    state's input). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,70 @@
+type result = {
+  immune : bool array;
+  rounds : int;
+  used : bool array;
+  stuck : Topology.channel list;
+}
+
+let analyze rt =
+  let topo = Routing.topology rt in
+  let nchan = Topology.num_channels topo in
+  let cdg = Cdg.build rt in
+  (* per channel, the list of successor channels demanded by the messages
+     that use it: None = the message is consumed right after this channel *)
+  let demands = Array.make nchan [] in
+  let used = Array.make nchan false in
+  let n = Topology.num_nodes topo in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then begin
+        let rec scan = function
+          | [] -> ()
+          | [ last ] ->
+            used.(last) <- true;
+            demands.(last) <- None :: demands.(last)
+          | c1 :: (c2 :: _ as rest) ->
+            used.(c1) <- true;
+            demands.(c1) <- Some c2 :: demands.(c1);
+            scan rest
+        in
+        scan (Cdg.path_of cdg (s, d))
+      end
+    done
+  done;
+  let immune = Array.make nchan false in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr rounds;
+    for c = 0 to nchan - 1 do
+      if used.(c) && not immune.(c) then begin
+        let ok =
+          List.for_all
+            (function None -> true | Some c' -> immune.(c'))
+            demands.(c)
+        in
+        if ok then begin
+          immune.(c) <- true;
+          changed := true
+        end
+      end
+    done
+  done;
+  let stuck = ref [] in
+  for c = nchan - 1 downto 0 do
+    if used.(c) && not immune.(c) then stuck := c :: !stuck
+  done;
+  { immune; rounds = !rounds; used; stuck = !stuck }
+
+let proves_deadlock_free r = r.stuck = []
+
+let pp topo ppf r =
+  let used_count = Array.fold_left (fun a u -> if u then a + 1 else a) 0 r.used in
+  let immune_count = Array.fold_left (fun a i -> if i then a + 1 else a) 0 r.immune in
+  Format.fprintf ppf "message-flow model: %d/%d used channels immune after %d rounds"
+    immune_count used_count r.rounds;
+  if r.stuck <> [] then begin
+    Format.fprintf ppf "; stuck:";
+    List.iter (fun c -> Format.fprintf ppf " %s" (Topology.channel_name topo c)) r.stuck
+  end

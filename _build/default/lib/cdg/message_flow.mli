@@ -1,0 +1,32 @@
+(** The Lin-McKinley-Ni message flow model (discussed in Section 2 of the
+    paper).
+
+    A channel is {e deadlock-immune} when every message that uses it is
+    guaranteed to reach its destination.  The model proves deadlock freedom
+    by starting from the sink channels (channels from which every message is
+    consumed immediately) and working backward: a channel becomes immune
+    when, for every message that can occupy it, every channel the message
+    may need {e next} is already immune.  If all channels used by the
+    routing algorithm become immune, the algorithm is deadlock-free.
+
+    The paper's observation -- reproduced by experiment EXP-MFM -- is that
+    this technique is {e incomplete} in the presence of unreachable cyclic
+    configurations: on the Figure-1 network the ring channels wait on one
+    another circularly, so the fixpoint never marks them immune, even
+    though the algorithm is deadlock-free.  (The converse direction is
+    sound: if all channels are immune, no deadlock exists.) *)
+
+type result = {
+  immune : bool array;  (** indexed by channel *)
+  rounds : int;  (** fixpoint iterations *)
+  used : bool array;  (** channels used by at least one message *)
+  stuck : Topology.channel list;  (** used channels that never became immune *)
+}
+
+val analyze : Routing.t -> result
+(** Run the backward fixpoint. *)
+
+val proves_deadlock_free : result -> bool
+(** True iff every used channel is immune. *)
+
+val pp : Topology.t -> Format.formatter -> result -> unit

@@ -1,0 +1,46 @@
+(** The eight conditions of Theorem 5: when exactly three messages of a CDG
+    cycle share a channel outside the cycle, the cycle is an unreachable
+    configuration iff all eight hold.
+
+    The available text of the paper loses the message subscripts inside the
+    condition statements to OCR, so this module encodes a careful
+    reconstruction stated in terms of the three sharers ordered by access
+    distance -- [Mmax] (most channels from the shared channel to the cycle),
+    [Mmid], [Mmin] (fewest) -- and is cross-validated against the exhaustive
+    schedule search on the Figure-3 networks by the experiment suite
+    (EXP-T5).  Each condition is reported individually so disagreements are
+    visible. *)
+
+type sharer = {
+  sh_label : string;
+  sh_access : int;  (** channels from the shared channel (exclusive) to the cycle *)
+  sh_entry : int;  (** cycle index of its first cycle channel *)
+  sh_span : int;  (** cycle channels on its path *)
+}
+
+type other = {
+  ot_entry : int;
+  ot_span : int;
+  ot_uses_shared : bool;
+}
+
+type input = {
+  cycle_len : int;
+  sharers : sharer list;  (** exactly three *)
+  others : other list;  (** remaining cycle messages *)
+}
+
+type condition = {
+  c_index : int;  (** 1..8, the paper's numbering *)
+  c_text : string;
+  c_holds : bool;
+}
+
+val check : input -> condition list * bool
+(** The eight reconstructed conditions, individually reported, and the
+    checker's verdict ([true] = unreachable configuration, i.e. false
+    resource cycle).  The verdict evaluates conditions 1 and 3 jointly --
+    unreachability requires that no rotation of the sharers' cyclic entry
+    order has strictly decreasing access distances (with pairwise-distinct
+    accesses this is exactly "Mmax followed by Mmin") -- conjoined with
+    conditions 2 and 4-8. *)

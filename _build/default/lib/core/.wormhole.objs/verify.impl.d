@@ -1,0 +1,1 @@
+lib/core/verify.ml: Cdg Cycle_analysis Explorer Format List Printf Properties Routing Topology

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Cycle_analysis Explorer Format Properties Routing Topology

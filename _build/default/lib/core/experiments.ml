@@ -1,0 +1,668 @@
+type row = {
+  x_id : string;
+  x_claim : string;
+  x_measured : string;
+  x_ok : bool;
+}
+
+let row id claim measured ok = { x_id = id; x_claim = claim; x_measured = measured; x_ok = ok }
+
+let header ppf title = Format.fprintf ppf "@\n=== %s ===@\n" title
+
+(* Search space for a paper network's designated messages. *)
+let net_space ?(quick = false) net =
+  let extra = if quick then [ -2; -1; 0 ] else [ -2; -1; 0; 1 ] in
+  let templates =
+    List.map (fun i -> Explorer.intent_template ~extra net i) net.Paper_nets.intents
+  in
+  let base = Explorer.default_space templates in
+  if quick then { base with buffers = [ 1 ] } else base
+
+let search_net ?quick net rt = Explorer.explore rt (net_space ?quick net)
+
+let describe_search topo ppf v =
+  Format.fprintf ppf "search: %a@\n" (Explorer.pp_verdict topo) v
+
+(* ---- Figure 1 / Theorem 1 ---- *)
+
+let exp_f1 ?(quick = false) ppf =
+  header ppf "EXP-F1: Figure 1 / Theorem 1 (Cyclic Dependency algorithm)";
+  let net = Paper_nets.figure1 () in
+  let rt = Cd_algorithm.of_net net in
+  let cdg = Cdg.build rt in
+  let cycles = Cdg.elementary_cycles cdg in
+  Format.fprintf ppf "network: %d nodes, %d channels; routing table valid: %b@\n"
+    (Topology.num_nodes net.topo) (Topology.num_channels net.topo)
+    (Routing.validate rt = Ok ());
+  Format.fprintf ppf "CDG: %d dependencies, acyclic=%b, %d elementary cycle(s)@\n"
+    (Cdg.num_edges cdg) (Cdg.is_acyclic cdg) (List.length cycles);
+  List.iter (fun c -> Format.fprintf ppf "  cycle: %a@\n" (Cdg.pp_cycle cdg) c) cycles;
+  let props = Properties.summary rt in
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "  property %s: %a@\n" n Properties.pp_verdict v)
+    props;
+  let v = search_net ~quick net rt in
+  describe_search net.topo ppf v;
+  let one_cycle_of_8 =
+    match cycles with [ c ] -> List.length c = 8 | _ -> false
+  in
+  let not_suffix =
+    match List.assoc_opt "suffix-closed" props with
+    | Some (Properties.Fails _) -> true
+    | _ -> false
+  in
+  [
+    row "F1/cdg" "CDG has a cycle (exactly the 8-channel ring)"
+      (Printf.sprintf "%d cycle(s), len %s" (List.length cycles)
+         (String.concat "," (List.map (fun c -> string_of_int (List.length c)) cycles)))
+      one_cycle_of_8;
+    row "F1/suffix" "CD algorithm is not suffix-closed (escapes Corollary 2)"
+      (if not_suffix then "not suffix-closed" else "suffix-closed") not_suffix;
+    row "F1/deadlock-free" "no reachable deadlock (Theorem 1)"
+      (match v with
+      | Explorer.No_deadlock { runs } -> Printf.sprintf "no deadlock in %d runs" runs
+      | Explorer.Deadlock_found { runs; _ } -> Printf.sprintf "DEADLOCK after %d runs" runs)
+      (not (Explorer.is_deadlock_found v));
+  ]
+
+(* ---- Theorem 2 / Corollary 1 ---- *)
+
+let exp_t2 ?(quick = false) ppf =
+  ignore quick;
+  header ppf "EXP-T2: Theorem 2 (shared channels within the cycle)";
+  let coords = Builders.ring ~unidirectional:true 4 in
+  let rt = Ring_routing.clockwise coords in
+  let cdg = Cdg.build rt in
+  let cycles = Cdg.elementary_cycles cdg in
+  let classified =
+    List.map (fun c -> Cycle_analysis.classify cdg c) cycles
+  in
+  List.iteri
+    (fun i (_, v) ->
+      Format.fprintf ppf "cycle %d: %a@\n" i Cycle_analysis.pp_verdict v)
+    classified;
+  let all_reachable =
+    classified <> []
+    && List.for_all
+         (fun (_, v) ->
+           match v with Cycle_analysis.Deadlock_reachable _ -> true | _ -> false)
+         classified
+  in
+  let sched =
+    List.init 4 (fun i -> Schedule.message ~length:3 (Printf.sprintf "m%d" i) i ((i + 2) mod 4))
+  in
+  let out = Engine.run rt sched in
+  Format.fprintf ppf "%a@\n" (Engine.pp_outcome (Routing.topology rt)) out;
+  [
+    row "T2/classify" "cycles with all shared channels inside are reachable (Theorem 2)"
+      (if all_reachable then "all cycles classified reachable" else "unexpected verdict")
+      all_reachable;
+    row "T2/witness" "simultaneous ring traffic deadlocks"
+      (if Engine.is_deadlock out then "deadlock witness at length 3" else "no deadlock")
+      (Engine.is_deadlock out);
+  ]
+
+(* ---- Corollaries 1-3 over the algorithm suite ---- *)
+
+let suite () =
+  let mesh = Builders.mesh [ 4; 4 ] in
+  let hc = Builders.hypercube 3 in
+  let torus1 = Builders.torus [ 4; 4 ] in
+  let torus2 = Builders.torus ~vcs:2 [ 4; 4 ] in
+  let ring2 = Builders.ring ~unidirectional:true ~vcs:2 6 in
+  [
+    ("xy-mesh-4x4", Dimension_order.mesh mesh);
+    ("west-first-4x4", Turn_model.west_first mesh);
+    ("ecube-hypercube-3", Dimension_order.hypercube hc);
+    ("ecube-torus-4x4-novc", Dimension_order.torus torus1);
+    ("ecube-torus-4x4-dateline", Dimension_order.torus ~datelines:true torus2);
+    ("ring-dateline-6", Ring_routing.dateline ring2);
+  ]
+
+let exp_corollaries ?(quick = false) ppf =
+  header ppf "EXP-C123: Corollaries 1-3 (property checkers and verdicts)";
+  let algorithms = ("cd-figure1", Cd_algorithm.of_net (Paper_nets.figure1 ())) :: suite () in
+  let table =
+    Table.create
+      [ "algorithm"; "minimal"; "suffix-closed"; "coherent"; "CDG"; "conclusion" ]
+  in
+  let rows =
+    List.map
+      (fun (name, rt) ->
+        let report = Verify.analyze ~quick rt in
+        let get p =
+          match List.assoc_opt p report.Verify.properties with
+          | Some v -> if Properties.is_holds v then "yes" else "no"
+          | None -> "?"
+        in
+        let concl =
+          match report.Verify.conclusion with
+          | Verify.Deadlock_free _ -> "deadlock-free"
+          | Verify.Deadlocks _ -> "deadlocks"
+          | Verify.Unknown _ -> "unknown"
+        in
+        Table.add_row table
+          [
+            name;
+            get "minimal";
+            get "suffix-closed";
+            get "coherent";
+            (if report.Verify.acyclic then "acyclic"
+             else Printf.sprintf "%d cycles" (List.length report.Verify.cycles));
+            concl;
+          ];
+        (name, report))
+      algorithms
+  in
+  Format.fprintf ppf "%s" (Table.render table);
+  (* Corollary check: every suffix-closed algorithm's cycles (if any) are
+     classified reachable, never Unreachable. *)
+  let corollary_ok =
+    List.for_all
+      (fun (_, r) ->
+        let suffix =
+          match List.assoc_opt "suffix-closed" r.Verify.properties with
+          | Some v -> Properties.is_holds v
+          | None -> false
+        in
+        (not suffix)
+        || List.for_all
+             (fun cr ->
+               match cr.Verify.cr_verdict with
+               | Cycle_analysis.Unreachable _ -> false
+               | _ -> true)
+             r.Verify.cycles)
+      rows
+  in
+  let cd_free =
+    match List.assoc_opt "cd-figure1" (List.map (fun (n, r) -> (n, r.Verify.conclusion)) rows) with
+    | Some (Verify.Deadlock_free _) -> true
+    | _ -> false
+  in
+  [
+    row "C2/suffix-closed" "no suffix-closed algorithm has an unreachable cycle (Corollary 2)"
+      (if corollary_ok then "holds across the suite" else "violated") corollary_ok;
+    row "C/cd-exception"
+      "the non-suffix-closed CD algorithm is deadlock-free despite its cycle"
+      (if cd_free then "verified deadlock-free" else "not verified")
+      cd_free;
+  ]
+
+(* ---- Theorem 3 ---- *)
+
+let exp_t3 ?(quick = false) ppf =
+  ignore quick;
+  header ppf "EXP-T3: Theorem 3 (minimal oblivious routing)";
+  let net = Paper_nets.figure1 () in
+  let rt = Cd_algorithm.of_net net in
+  let cd_minimal = Properties.is_holds (Properties.minimal rt) in
+  Format.fprintf ppf "CD algorithm minimal: %b (Theorem 3 forces nonminimality)@\n" cd_minimal;
+  (* Minimal members of the suite: their cycles must all be reachable. *)
+  let minimal_ok =
+    List.for_all
+      (fun (name, rt) ->
+        let minimal = Properties.is_holds (Properties.minimal rt) in
+        if not minimal then true
+        else begin
+          let cdg = Cdg.build rt in
+          let cycles = Cdg.elementary_cycles cdg in
+          let ok =
+            List.for_all
+              (fun c ->
+                match snd (Cycle_analysis.classify ~minimal:true cdg c) with
+                | Cycle_analysis.Unreachable _ -> false
+                | _ -> true)
+              cycles
+          in
+          Format.fprintf ppf "%s: minimal, %d cycle(s), all reachable: %b@\n" name
+            (List.length cycles) ok;
+          ok
+        end)
+      (suite ())
+  in
+  [
+    row "T3/cd-nonminimal" "the CD example cannot be minimal"
+      (if cd_minimal then "minimal (!)" else "nonminimal") (not cd_minimal);
+    row "T3/minimal-suite" "minimal algorithms have no unreachable cycles"
+      (if minimal_ok then "holds across the suite" else "violated") minimal_ok;
+  ]
+
+(* ---- Figure 2 / Theorem 4 ---- *)
+
+let exp_t4 ?(quick = false) ppf =
+  header ppf "EXP-T4: Figure 2 / Theorem 4 (two sharers outside the cycle)";
+  let net = Paper_nets.figure2 () in
+  let rt = Cd_algorithm.of_net net in
+  let cdg = Cdg.build rt in
+  let classified =
+    List.map (fun c -> snd (Cycle_analysis.classify cdg c)) (Cdg.elementary_cycles cdg)
+  in
+  let thm4 =
+    List.exists
+      (function
+        | Cycle_analysis.Deadlock_reachable why ->
+          String.length why >= 9 && String.sub why 0 9 = "Theorem 4"
+        | _ -> false)
+      classified
+  in
+  List.iter (fun v -> Format.fprintf ppf "classifier: %a@\n" Cycle_analysis.pp_verdict v) classified;
+  let v = search_net ~quick net rt in
+  describe_search net.topo ppf v;
+  [
+    row "T4/classify" "classifier applies Theorem 4 (exactly two sharers)"
+      (if thm4 then "Theorem 4 fired" else "did not fire") thm4;
+    row "T4/deadlock" "the Figure-2 cycle forms a reachable deadlock"
+      (match v with
+      | Explorer.Deadlock_found { runs; _ } -> Printf.sprintf "witness after %d runs" runs
+      | Explorer.No_deadlock { runs } -> Printf.sprintf "no deadlock in %d runs" runs)
+      (Explorer.is_deadlock_found v);
+  ]
+
+(* ---- Figure 3 / Theorem 5 ---- *)
+
+let exp_t5 ?(quick = false) ppf =
+  header ppf "EXP-T5: Figure 3 / Theorem 5 (three sharers: the eight conditions)";
+  let cases =
+    [ (`A, "a", false); (`B, "b", false); (`C, "c", true); (`D, "d", true); (`E, "e", true);
+      (`F, "f", true) ]
+  in
+  let table =
+    Table.create [ "case"; "paper"; "checker"; "search"; "agrees" ]
+  in
+  let rows =
+    List.map
+      (fun (case, name, paper_deadlock) ->
+        let net = Paper_nets.figure3 case in
+        let rt = Cd_algorithm.of_net net in
+        let cdg = Cdg.build rt in
+        let checker =
+          match Cdg.elementary_cycles cdg with
+          | [ cycle ] -> (
+            match snd (Cycle_analysis.classify cdg cycle) with
+            | Cycle_analysis.Unreachable _ -> Some false
+            | Cycle_analysis.Deadlock_reachable _ -> Some true
+            | Cycle_analysis.Needs_search _ -> None)
+          | _ -> None
+        in
+        let v = search_net ~quick net rt in
+        let search_deadlock = Explorer.is_deadlock_found v in
+        let ok =
+          search_deadlock = paper_deadlock
+          && match checker with Some c -> c = paper_deadlock | None -> false
+        in
+        Table.add_row table
+          [
+            name;
+            (if paper_deadlock then "deadlock" else "false cycle");
+            (match checker with
+            | Some true -> "deadlock"
+            | Some false -> "false cycle"
+            | None -> "undecided");
+            (if search_deadlock then "deadlock" else "no deadlock");
+            (if ok then "yes" else "NO");
+          ];
+        row (Printf.sprintf "T5/%s" name)
+          (if paper_deadlock then "deadlock reachable" else "unreachable (false resource cycle)")
+          (Printf.sprintf "checker=%s search=%s"
+             (match checker with
+             | Some true -> "deadlock"
+             | Some false -> "false-cycle"
+             | None -> "undecided")
+             (if search_deadlock then "deadlock" else "safe"))
+          ok)
+      cases
+  in
+  Format.fprintf ppf "%s" (Table.render table);
+  rows
+
+(* ---- Section 6 ---- *)
+
+let exp_g ?(quick = false) ?max_p ppf =
+  header ppf "EXP-G: Section 6 (delay tolerance of the generalized family)";
+  let max_p = match max_p with Some p -> p | None -> if quick then 2 else 3 in
+  let table = Table.create [ "p"; "ring"; "safe w/o delay"; "min deadlock delay" ] in
+  let results =
+    List.map
+      (fun p ->
+        let net = Paper_nets.family p in
+        let max_h = if quick then 4 + (2 * p) else 6 + (3 * p) in
+        let r = Min_delay.search ~max_h net in
+        Table.add_row table
+          [
+            string_of_int p;
+            string_of_int (Array.length net.ring_channels);
+            string_of_bool r.Min_delay.md_no_delay_safe;
+            (match r.md_min_delay with
+            | Some h -> string_of_int h
+            | None -> Printf.sprintf ">%d" max_h);
+          ];
+        (p, r))
+      (List.init max_p (fun i -> i + 1))
+  in
+  Format.fprintf ppf "%s" (Table.render table);
+  let all_safe = List.for_all (fun (_, r) -> r.Min_delay.md_no_delay_safe) results in
+  let delays =
+    List.map (fun (_, r) -> match r.Min_delay.md_min_delay with Some h -> h | None -> max_int)
+      results
+  in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  let growing = strictly_increasing delays in
+  [
+    row "G/safe" "every family member is deadlock-free without adversarial delay"
+      (if all_safe then "safe for all p tested" else "deadlocked without delay") all_safe;
+    row "G/growth" "required adversarial delay grows with p (unbounded tolerance)"
+      (Printf.sprintf "min delays: %s"
+         (String.concat ","
+            (List.map (fun d -> if d = max_int then ">max" else string_of_int d) delays)))
+      growing;
+  ]
+
+(* ---- Substrate experiments (extensions) ---- *)
+
+let exp_s1 ?(quick = false) ppf =
+  ignore quick;
+  header ppf "EXP-S1: substrate validation (torus/mesh deadlock behaviour)";
+  let t1 = Builders.torus [ 5; 5 ] in
+  let t2 = Builders.torus ~vcs:2 [ 5; 5 ] in
+  let run name rt coords =
+    let pattern = Traffic.tornado coords in
+    let sched = Traffic.permutation_schedule pattern ~coords ~length:8 in
+    let rep = Measure.run rt sched in
+    Format.fprintf ppf "%s: %a@\n" name Measure.pp rep;
+    rep
+  in
+  let novc = run "torus-novc " (Dimension_order.torus t1) t1 in
+  let dateline = run "torus-vc2  " (Dimension_order.torus ~datelines:true t2) t2 in
+  let mesh = Builders.mesh [ 5; 5 ] in
+  let meshrep = run "mesh-xy    " (Dimension_order.mesh mesh) mesh in
+  [
+    row "S1/torus-novc" "torus e-cube without VCs deadlocks under tornado permutation"
+      (if novc.Measure.deadlocked then "deadlock" else "delivered") novc.Measure.deadlocked;
+    row "S1/torus-dateline" "dateline VCs restore deadlock freedom"
+      (if dateline.Measure.deadlocked then "deadlock" else "all delivered")
+      (not dateline.Measure.deadlocked);
+    row "S1/mesh" "mesh XY routing never deadlocks"
+      (if meshrep.Measure.deadlocked then "deadlock" else "all delivered")
+      (not meshrep.Measure.deadlocked);
+  ]
+
+let exp_s2 ?(quick = false) ppf =
+  header ppf "EXP-S2: substrate performance (8x8 mesh XY, latency vs offered load)";
+  let coords = Builders.mesh [ 8; 8 ] in
+  let rt = Dimension_order.mesh coords in
+  let horizon = if quick then 300 else 1000 in
+  let rates = if quick then [ 0.01; 0.03 ] else [ 0.005; 0.01; 0.02; 0.03; 0.05 ] in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "pattern"; "rate"; "avg lat"; "p95 lat"; "thr (f/c)" ]
+  in
+  let monotone = ref true in
+  List.iter
+    (fun (pname, mk) ->
+      let prev = ref 0.0 in
+      List.iter
+        (fun rate ->
+          let rng = Rng.create 42 in
+          let pattern = mk rng in
+          let sched = Traffic.bernoulli_schedule rng pattern ~coords ~rate ~length:4 ~horizon in
+          let rep = Measure.run rt sched in
+          if rep.Measure.avg_latency < !prev -. 2.0 then monotone := false;
+          prev := rep.Measure.avg_latency;
+          Table.add_row table
+            [
+              pname;
+              Printf.sprintf "%.3f" rate;
+              Printf.sprintf "%.1f" rep.Measure.avg_latency;
+              Printf.sprintf "%.1f" rep.Measure.p95_latency;
+              Printf.sprintf "%.3f" rep.Measure.throughput;
+            ])
+        rates)
+    [
+      ("uniform", fun rng -> Traffic.uniform rng coords);
+      ("transpose", fun _ -> Traffic.transpose coords);
+    ];
+  Format.fprintf ppf "%s" (Table.render table);
+  [
+    row "S2/latency-load" "latency grows (weakly) with offered load"
+      (if !monotone then "monotone within tolerance" else "non-monotone") !monotone;
+  ]
+
+(* ---- Message flow model (Section-2 discussion) ---- *)
+
+let exp_mfm ?(quick = false) ppf =
+  ignore quick;
+  header ppf "EXP-MFM: the message flow model on unreachable cycles";
+  let rows = ref [] in
+  (* sound direction: complete on the acyclic suite *)
+  let proves =
+    List.for_all
+      (fun (name, rt) ->
+        let r = Message_flow.analyze rt in
+        let cdg_acyclic = Cdg.is_acyclic (Cdg.build rt) in
+        Format.fprintf ppf "%s: %a@
+" name (Message_flow.pp (Routing.topology rt)) r;
+        (not cdg_acyclic) || Message_flow.proves_deadlock_free r)
+      (suite ())
+  in
+  rows :=
+    row "MFM/acyclic-suite" "deadlock-immunity fixpoint proves the acyclic algorithms"
+      (if proves then "all proven" else "some acyclic algorithm not proven") proves
+    :: !rows;
+  (* the paper's observation: the technique gets stuck on Figure 1 *)
+  let net = Paper_nets.figure1 () in
+  let rt = Cd_algorithm.of_net net in
+  let r = Message_flow.analyze rt in
+  Format.fprintf ppf "cd-figure1: %a@
+" (Message_flow.pp net.topo) r;
+  let ring_stuck =
+    Array.for_all (fun c -> List.mem c r.Message_flow.stuck) net.ring_channels
+  in
+  let incomplete = ring_stuck && not (Message_flow.proves_deadlock_free r) in
+  rows :=
+    row "MFM/figure1-stuck"
+      "on Figure 1 the fixpoint never marks the ring channels immune (Section 2: 'no \
+       starting point'), although the algorithm is deadlock-free"
+      (Printf.sprintf "%d channels stuck, including all %d ring channels"
+         (List.length r.Message_flow.stuck)
+         (Array.length net.ring_channels))
+      incomplete
+    :: !rows;
+  List.rev !rows
+
+(* ---- State-space model checking ---- *)
+
+let exp_mc ?(quick = false) ppf =
+  header ppf "EXP-MC: exhaustive state-space verification (all timings, all arbitrations)";
+  let table = Table.create [ "network"; "paper"; "model checker"; "states"; "agrees" ] in
+  let extra = if quick then [ -2; -1; 0 ] else [ -2; -1; 0; 1 ] in
+  let cases =
+    [ ("figure1", Paper_nets.figure1 (), false); ("figure2", Paper_nets.figure2 (), true);
+      ("figure3a", Paper_nets.figure3 `A, false); ("figure3b", Paper_nets.figure3 `B, false);
+      ("figure3c", Paper_nets.figure3 `C, true); ("figure3d", Paper_nets.figure3 `D, true);
+      ("figure3e", Paper_nets.figure3 `E, true); ("figure3f", Paper_nets.figure3 `F, true) ]
+  in
+  let rows =
+    List.map
+      (fun (name, net, paper_deadlock) ->
+        let v = Model_checker.check_net ~extra net in
+        let found, states =
+          match v with
+          | Model_checker.Deadlock { states; _ } -> (true, states)
+          | Model_checker.Safe { states } -> (false, states)
+          | Model_checker.Out_of_budget { states } -> (paper_deadlock, states)
+        in
+        let ok = found = paper_deadlock in
+        Table.add_row table
+          [ name;
+            (if paper_deadlock then "deadlock" else "safe");
+            (if found then "deadlock" else "safe");
+            string_of_int states;
+            (if ok then "yes" else "NO") ];
+        row ("MC/" ^ name)
+          (if paper_deadlock then "deadlock reachable" else "unreachable for all timings")
+          (Format.asprintf "%a" Model_checker.pp v)
+          ok)
+      cases
+  in
+  Format.fprintf ppf "%s" (Table.render table);
+  (* Section-6 consistency: with the unbounded-delay adversary Figure 1
+     DOES deadlock (the paper: delaying M1/M3 one or more cycles suffices) *)
+  let v_stall = Model_checker.check_net ~allow_stalls:true ~extra (Paper_nets.figure1 ()) in
+  Format.fprintf ppf "figure1 under the unbounded-delay adversary: %a@\n" Model_checker.pp
+    v_stall;
+  let stall_row =
+    row "MC/figure1-stalls"
+      "with unbounded in-network delay Figure 1 deadlocks (Section 6)"
+      (Format.asprintf "%a" Model_checker.pp v_stall)
+      (match v_stall with Model_checker.Deadlock _ -> true | _ -> false)
+  in
+  rows @ [ stall_row ]
+
+(* ---- Switching-technique continuum (Section-1 discussion) ---- *)
+
+let exp_sw ?(quick = false) ppf =
+  header ppf "EXP-SW: wormhole vs buffered wormhole vs virtual cut-through vs SAF";
+  (* latency of one message over a 3-hop line under each discipline *)
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let c = Topology.add_node t "c" in
+  let d = Topology.add_node t "d" in
+  let ab = Topology.add_channel t a b in
+  let bc = Topology.add_channel t b c in
+  let cd = Topology.add_channel t c d in
+  let line =
+    Routing.create ~name:"line" t (fun input _ ->
+        match input with
+        | Routing.Inject n -> if n = a then Some ab else None
+        | Routing.From ch -> if ch = ab then Some bc else if ch = bc then Some cd else None)
+  in
+  let finish config =
+    match Engine.run ~config line [ Schedule.message ~length:4 "m" a d ] with
+    | Engine.All_delivered { finished_at; _ } -> finished_at
+    | _ -> max_int
+  in
+  let wh = finish Engine.default_config in
+  let vct = finish { Engine.default_config with buffer_capacity = 4 } in
+  let saf =
+    finish
+      { Engine.default_config with buffer_capacity = 4; switching = Engine.Store_and_forward }
+  in
+  Format.fprintf ppf "3-hop line, 4 flits: wormhole %d, cut-through %d, store-and-forward %d@\n"
+    wh vct saf;
+  (* a cyclic-CDG substrate deadlocks under every discipline *)
+  let r = Builders.ring ~unidirectional:true 4 in
+  let rr = Ring_routing.clockwise r in
+  let sched =
+    List.init 4 (fun i -> Schedule.message ~length:3 (Printf.sprintf "m%d" i) i ((i + 2) mod 4))
+  in
+  let vct_ring =
+    Engine.is_deadlock (Engine.run ~config:{ Engine.default_config with buffer_capacity = 8 } rr sched)
+  in
+  Format.fprintf ppf "ring-4 under cut-through buffers: %s@\n"
+    (if vct_ring then "deadlock (buffer cycle)" else "delivered");
+  (* the Figure-1 false resource cycle survives the switch to cut-through *)
+  let net = Paper_nets.figure1 () in
+  let rt = Cd_algorithm.of_net net in
+  let extra = if quick then [ -2; -1; 0 ] else [ -2; -1; 0; 1 ] in
+  let templates = List.map (fun i -> Explorer.intent_template ~extra net i) net.intents in
+  let sp =
+    { (Explorer.default_space templates) with
+      buffers = [ 8 ];
+      priorities = (if quick then Explorer.Follow_order else Explorer.All_permutations) }
+  in
+  let v = Explorer.explore rt sp in
+  describe_search net.topo ppf v;
+  [
+    row "SW/latency-order" "wormhole = cut-through < store-and-forward latency"
+      (Printf.sprintf "%d = %d < %d" wh vct saf)
+      (wh = vct && vct < saf);
+    row "SW/vct-ring" "cut-through buffering does not rescue a cyclic-CDG substrate"
+      (if vct_ring then "still deadlocks" else "delivered") vct_ring;
+    row "SW/fig1-vct"
+      "the Figure-1 cycle remains unreachable under virtual cut-through (the \
+       unreachable-configuration theory generalizes beyond wormhole)"
+      (match v with
+      | Explorer.No_deadlock { runs } -> Printf.sprintf "no deadlock in %d runs" runs
+      | Explorer.Deadlock_found { runs; _ } -> Printf.sprintf "DEADLOCK after %d runs" runs)
+      (not (Explorer.is_deadlock_found v));
+  ]
+
+(* ---- Adaptive routing (Section-7 outlook) ---- *)
+
+let exp_a ?(quick = false) ppf =
+  header ppf "EXP-A: adaptive routing (Section 7: cycles vs. escape channels)";
+  let mesh1 = Builders.mesh [ 4; 4 ] in
+  let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
+  let fully = Adaptive.fully_adaptive_minimal mesh1 in
+  let duato = Adaptive.duato_mesh mesh2 in
+  let escape = Adaptive.escape_of_duato_mesh mesh2 in
+  (* adaptive CDG of the unrestricted algorithm is cyclic *)
+  let edges = Adaptive.cdg_edges fully in
+  let nchan = Topology.num_channels mesh1.Builders.topo in
+  let succs = Array.make nchan [] in
+  List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) edges;
+  let fully_cyclic = Scc.has_cycle ~n:nchan ~succ:(fun c -> succs.(c)) in
+  Format.fprintf ppf "fully-adaptive-minimal: %d adaptive dependencies, cyclic=%b@\n"
+    (List.length edges) fully_cyclic;
+  let r = Duato.check duato ~escape in
+  Format.fprintf ppf "duato-mesh: %a@\n" Duato.pp r;
+  (* stress the certified design in the adaptive engine *)
+  let rng = Rng.create 9 in
+  let pattern = Traffic.uniform rng mesh2 in
+  let horizon = if quick then 120 else 400 in
+  let sched =
+    Traffic.bernoulli_schedule rng pattern ~coords:mesh2 ~rate:0.08 ~length:5 ~horizon
+  in
+  let delivered =
+    match Adaptive_engine.run duato sched with
+    | Adaptive_engine.All_delivered { finished_at; messages } ->
+      Format.fprintf ppf "stress: %d messages delivered by cycle %d@\n"
+        (List.length messages) finished_at;
+      true
+    | o ->
+      Format.fprintf ppf "stress: %a@\n" (Adaptive_engine.pp_outcome mesh2.Builders.topo) o;
+      false
+  in
+  [
+    row "A/fully-cyclic" "unrestricted adaptive routing has a cyclic (adaptive) CDG"
+      (if fully_cyclic then "cyclic" else "acyclic") fully_cyclic;
+    row "A/duato-certified"
+      "Duato escape condition certifies the two-class design (connected escape + acyclic \
+       extended CDG)"
+      (Printf.sprintf "connected=%b acyclic=%b (%d direct + %d indirect deps)"
+         r.Duato.escape_connected r.Duato.extended_acyclic r.Duato.direct_edges
+         r.Duato.indirect_edges)
+      r.Duato.deadlock_free;
+    row "A/stress" "the certified design delivers under heavy adaptive traffic"
+      (if delivered then "all delivered" else "failed") delivered;
+  ]
+
+let all ?quick ppf =
+  List.concat
+    [
+      exp_f1 ?quick ppf;
+      exp_t2 ?quick ppf;
+      exp_corollaries ?quick ppf;
+      exp_t3 ?quick ppf;
+      exp_t4 ?quick ppf;
+      exp_t5 ?quick ppf;
+      exp_g ?quick ppf;
+      exp_s1 ?quick ppf;
+      exp_s2 ?quick ppf;
+      exp_mfm ?quick ppf;
+      exp_a ?quick ppf;
+      exp_sw ?quick ppf;
+      exp_mc ?quick ppf;
+    ]
+
+let summary_table rows =
+  let table = Table.create [ "experiment"; "paper claim"; "measured"; "ok" ] in
+  List.iter
+    (fun r -> Table.add_row table [ r.x_id; r.x_claim; r.x_measured; (if r.x_ok then "yes" else "NO") ])
+    rows;
+  Table.render table

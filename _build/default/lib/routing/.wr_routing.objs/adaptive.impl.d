@@ -1,0 +1,1 @@
+lib/routing/adaptive.ml: Array Builders Dimension_order Hashtbl List Printf Routing Scc Topology

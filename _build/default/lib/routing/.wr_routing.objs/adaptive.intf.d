@@ -1,0 +1,1 @@
+lib/routing/adaptive.mli: Builders Routing Topology

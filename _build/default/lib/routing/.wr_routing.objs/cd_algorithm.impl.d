@@ -1,0 +1,1 @@
+lib/routing/cd_algorithm.ml: List Paper_nets Routing Table_routing Topology

@@ -1,0 +1,1 @@
+lib/routing/cd_algorithm.mli: Paper_nets Routing Topology

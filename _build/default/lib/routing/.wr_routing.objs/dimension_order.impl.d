@@ -1,0 +1,1 @@
+lib/routing/dimension_order.ml: Array Builders Printf Routing Topology

@@ -1,0 +1,1 @@
+lib/routing/dimension_order.mli: Builders Routing

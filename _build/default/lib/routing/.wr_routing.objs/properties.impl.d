@@ -1,0 +1,1 @@
+lib/routing/properties.ml: Array Format Hashtbl List Printf Routing Topology

@@ -1,0 +1,1 @@
+lib/routing/properties.mli: Format Routing

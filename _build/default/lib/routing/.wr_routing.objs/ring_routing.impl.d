@@ -1,0 +1,1 @@
+lib/routing/ring_routing.ml: Array Builders Routing Topology

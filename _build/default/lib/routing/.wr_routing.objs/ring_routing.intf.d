@@ -1,0 +1,1 @@
+lib/routing/ring_routing.mli: Builders Routing

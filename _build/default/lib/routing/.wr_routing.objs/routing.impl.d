@@ -1,0 +1,1 @@
+lib/routing/routing.ml: Format Hashtbl List Printf Topology

@@ -1,0 +1,1 @@
+lib/routing/routing.mli: Format Topology

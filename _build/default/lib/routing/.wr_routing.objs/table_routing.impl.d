@@ -1,0 +1,1 @@
+lib/routing/table_routing.ml: Hashtbl List Printf Routing Topology

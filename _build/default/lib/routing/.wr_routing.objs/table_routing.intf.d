@@ -1,0 +1,1 @@
+lib/routing/table_routing.mli: Routing Topology

@@ -1,0 +1,1 @@
+lib/routing/turn_model.ml: Array Builders Routing Topology

@@ -1,0 +1,1 @@
+lib/routing/turn_model.mli: Builders Routing

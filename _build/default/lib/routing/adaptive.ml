@@ -1,0 +1,159 @@
+type t = {
+  name : string;
+  topo : Topology.t;
+  f : Routing.input -> Topology.node -> Topology.channel list;
+}
+
+let create ~name topo f = { name; topo; f }
+
+let name t = t.name
+
+let topology t = t.topo
+
+let options t input dest = t.f input dest
+
+let of_oblivious rt =
+  {
+    name = Routing.name rt;
+    topo = Routing.topology rt;
+    f =
+      (fun input dest ->
+        match Routing.next rt input dest with Some c -> [ c ] | None -> []);
+  }
+
+let restrict_to_first t =
+  Routing.create ~name:(t.name ^ "-first") t.topo (fun input dest ->
+      match t.f input dest with c :: _ -> Some c | [] -> None)
+
+(* Exhaustive walk of the reachable (input, destination) state graph.
+   [on_state] is called once per reachable state with its option list. *)
+let walk_states t on_state =
+  let n = Topology.num_nodes t.topo in
+  let seen = Hashtbl.create 1024 in
+  let error = ref None in
+  let rec visit input dest depth =
+    if !error = None && not (Hashtbl.mem seen (input, dest)) then begin
+      Hashtbl.add seen (input, dest) ();
+      let here = Routing.current_node t.topo input in
+      let opts = t.f input dest in
+      on_state input dest opts;
+      if here = dest then begin
+        if opts <> [] then
+          error :=
+            Some
+              (Printf.sprintf "%s: options offered at the destination %s" t.name
+                 (Topology.node_name t.topo dest))
+      end
+      else if opts = [] then
+        error :=
+          Some
+            (Printf.sprintf "%s: no option at %s toward %s" t.name
+               (Topology.node_name t.topo here) (Topology.node_name t.topo dest))
+      else if depth > 4 * Topology.num_channels t.topo then
+        error := Some (t.name ^ ": choice sequence does not terminate (livelock?)")
+      else
+        List.iter
+          (fun c ->
+            if Topology.src t.topo c <> here then
+              error :=
+                Some
+                  (Printf.sprintf "%s: option %s does not leave %s" t.name
+                     (Topology.channel_name t.topo c) (Topology.node_name t.topo here))
+            else visit (Routing.From c) dest (depth + 1))
+          opts
+    end
+  in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then visit (Routing.Inject s) d 0
+    done
+  done;
+  !error
+
+(* Termination needs more than per-state nonemptiness: check there is no
+   cycle in the reachable state graph (a message could be routed around
+   forever).  For minimal algorithms distance strictly decreases so this
+   holds; we verify it generically. *)
+let validate t =
+  match walk_states t (fun _ _ _ -> ()) with
+  | Some e -> Error e
+  | None ->
+    (* cycle detection over reachable (channel, dest) states *)
+    let nchan = Topology.num_channels t.topo in
+    let n = Topology.num_nodes t.topo in
+    let id c dest = (c * n) + dest in
+    let succ v =
+      let c = v / n and dest = v mod n in
+      if Topology.dst t.topo c = dest then []
+      else List.map (fun c' -> id c' dest) (t.f (Routing.From c) dest)
+    in
+    if Scc.has_cycle ~n:(nchan * n) ~succ then
+      Error (t.name ^ ": a destination admits a routing loop (livelock)")
+    else Ok ()
+
+let cdg_edges t =
+  let edges = Hashtbl.create 256 in
+  ignore
+    (walk_states t (fun input dest opts ->
+         match input with
+         | Routing.Inject _ -> ()
+         | Routing.From c ->
+           ignore dest;
+           List.iter (fun c' -> Hashtbl.replace edges (c, c') ()) opts));
+  Hashtbl.fold (fun e () acc -> e :: acc) edges []
+
+(* ---- algorithms ---- *)
+
+open Builders
+
+let productive_channels ?(vc = 0) coords here dest =
+  let { topo; dims; coord; node_at } = coords in
+  let hc = coord here and dc = coord dest in
+  let acc = ref [] in
+  for d = Array.length dims - 1 downto 0 do
+    if hc.(d) <> dc.(d) then begin
+      let nc = Array.copy hc in
+      nc.(d) <- (if hc.(d) < dc.(d) then hc.(d) + 1 else hc.(d) - 1);
+      match Topology.find_channel ~vc topo here (node_at nc) with
+      | Some c -> acc := c :: !acc
+      | None -> ()
+    end
+  done;
+  !acc
+
+let fully_adaptive_minimal coords =
+  create ~name:"fully-adaptive-minimal" coords.topo (fun input dest ->
+      let here = Routing.current_node coords.topo input in
+      if here = dest then [] else productive_channels coords here dest)
+
+let escape_of_duato_mesh coords = Dimension_order.mesh coords
+
+let duato_mesh coords =
+  let escape = escape_of_duato_mesh coords in
+  create ~name:"duato-mesh" coords.topo (fun input dest ->
+      let here = Routing.current_node coords.topo input in
+      if here = dest then []
+      else begin
+        let adaptive = productive_channels ~vc:1 coords here dest in
+        let esc = match Routing.next escape input dest with Some c -> [ c ] | None -> [] in
+        adaptive @ esc
+      end)
+
+let west_first_adaptive coords =
+  let { topo; dims; coord; node_at } = coords in
+  if Array.length dims <> 2 then invalid_arg "Adaptive.west_first_adaptive: 2-D mesh required";
+  create ~name:"west-first-adaptive" topo (fun input dest ->
+      let here = Routing.current_node topo input in
+      if here = dest then []
+      else begin
+        let hc = coord here and dc = coord dest in
+        if dc.(0) < hc.(0) then begin
+          (* west hops are forced first (the prohibited turns are into west) *)
+          let nc = Array.copy hc in
+          nc.(0) <- hc.(0) - 1;
+          match Topology.find_channel topo here (node_at nc) with
+          | Some c -> [ c ]
+          | None -> []
+        end
+        else productive_channels coords here dest
+      end)

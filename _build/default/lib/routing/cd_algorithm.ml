@@ -1,0 +1,16 @@
+let hub_default (net : Paper_nets.net) input dest =
+  let topo = net.topo in
+  let here = Routing.current_node topo input in
+  if here = dest then None
+  else if here = net.hub then Topology.find_channel topo net.hub dest
+  else Topology.find_channel topo here net.hub
+
+let of_net (net : Paper_nets.net) =
+  let paths =
+    List.map
+      (fun (i : Paper_nets.intent) -> (i.i_src, i.i_dst, i.i_path))
+      net.intents
+  in
+  Table_routing.of_paths
+    ~name:("cd-" ^ net.n_spec.s_name)
+    ~default:(hub_default net) net.topo paths

@@ -1,0 +1,120 @@
+open Builders
+
+let channel_to ?(vc = 0) topo a b =
+  match Topology.find_channel ~vc topo a b with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Dimension_order: missing channel %s -> %s (vc %d)"
+         (Topology.node_name topo a) (Topology.node_name topo b) vc)
+
+let mesh coords =
+  let { topo; dims; coord; node_at } = coords in
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None
+    else begin
+      let hc = coord here and dc = coord dest in
+      let rec first_diff d =
+        if d >= Array.length dims then None
+        else if hc.(d) <> dc.(d) then Some d
+        else first_diff (d + 1)
+      in
+      match first_diff 0 with
+      | None -> None
+      | Some d ->
+        let nc = Array.copy hc in
+        nc.(d) <- (if hc.(d) < dc.(d) then hc.(d) + 1 else hc.(d) - 1);
+        Some (channel_to topo here (node_at nc))
+    end
+  in
+  Routing.create ~name:"dimension-order-mesh" topo f
+
+let hypercube coords =
+  let { topo; dims; coord; node_at } = coords in
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None
+    else begin
+      let hc = coord here and dc = coord dest in
+      let rec first_diff d =
+        if d >= Array.length dims then None
+        else if hc.(d) <> dc.(d) then Some d
+        else first_diff (d + 1)
+      in
+      match first_diff 0 with
+      | None -> None
+      | Some d ->
+        let nc = Array.copy hc in
+        nc.(d) <- 1 - hc.(d);
+        Some (channel_to topo here (node_at nc))
+    end
+  in
+  Routing.create ~name:"e-cube-hypercube" topo f
+
+(* Shortest-direction e-cube on a torus.  Positive ties.  With datelines, a
+   hop that crosses the wraparound link of its dimension switches to vc 1 and
+   the message stays on vc 1 for the rest of that dimension; this cuts every
+   ring cycle (a Dally-Seitz numbering exists). *)
+let torus ?(datelines = false) coords =
+  let { topo; dims; coord; node_at } = coords in
+  let direction k cur target =
+    let fwd = ((target - cur) mod k + k) mod k in
+    if fwd <= k - fwd then 1 else -1
+  in
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None
+    else begin
+      let hc = coord here and dc = coord dest in
+      let rec first_diff d =
+        if d >= Array.length dims then None
+        else if hc.(d) <> dc.(d) then Some d
+        else first_diff (d + 1)
+      in
+      match first_diff 0 with
+      | None -> None
+      | Some d ->
+        let k = dims.(d) in
+        let nc = Array.copy hc in
+        if k = 2 then begin
+          (* one bidirectional link, no wrap channels, no cycle to cut *)
+          nc.(d) <- dc.(d);
+          Some (channel_to topo here (node_at nc))
+        end
+        else begin
+          let dir = direction k hc.(d) dc.(d) in
+          let wrap_hop = (dir = 1 && hc.(d) = k - 1) || (dir = -1 && hc.(d) = 0) in
+          nc.(d) <- ((hc.(d) + dir) mod k + k) mod k;
+          let vc =
+            if not datelines then 0
+            else if wrap_hop then 1
+            else begin
+              (* stay on vc 1 if we already crossed this dimension's
+                 dateline, i.e. we arrived on a vc-1 channel of the same
+                 dimension and direction *)
+              match input with
+              | Routing.Inject _ -> 0
+              | Routing.From c ->
+                if Topology.vc topo c = 1 then begin
+                  let pc = coord (Topology.src topo c) and cc = coord (Topology.dst topo c) in
+                  let rec hop_dim i =
+                    if i >= Array.length dims then None
+                    else if pc.(i) <> cc.(i) then Some i
+                    else hop_dim (i + 1)
+                  in
+                  match hop_dim 0 with
+                  | Some pd when pd = d ->
+                    let step = (((cc.(d) - pc.(d)) mod k) + k) mod k in
+                    if (dir = 1 && step = 1) || (dir = -1 && step = k - 1) then 1 else 0
+                  | Some _ | None -> 0
+                end
+                else 0
+            end
+          in
+          Some (channel_to ~vc topo here (node_at nc))
+        end
+    end
+  in
+  let name = if datelines then "e-cube-torus-dateline" else "e-cube-torus" in
+  Routing.create ~name topo f

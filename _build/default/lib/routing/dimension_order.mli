@@ -1,0 +1,21 @@
+(** Dimension-order (e-cube) oblivious routing on meshes, tori and
+    hypercubes.  These are the classic coherent, suffix-closed baselines the
+    paper contrasts with the Cyclic Dependency algorithm (Corollaries 1-3
+    apply to them: they can have no unreachable cyclic configurations). *)
+
+val mesh : Builders.coords -> Routing.t
+(** XY(Z...) routing: correct dimension 0 fully, then dimension 1, etc.
+    Acyclic channel dependency graph; deadlock-free. *)
+
+val hypercube : Builders.coords -> Routing.t
+(** E-cube: fix differing address bits from the highest dimension down.
+    Acyclic CDG. *)
+
+val torus : ?datelines:bool -> Builders.coords -> Routing.t
+(** Shortest-direction dimension-order routing on a torus (ties go the
+    positive way).  With [datelines:false] (default) every hop uses virtual
+    channel 0: the wraparound links close cycles in the CDG and the
+    algorithm can deadlock -- the textbook baseline.  With [datelines:true]
+    the topology must have been built with [~vcs:2]; a message switches from
+    vc 0 to vc 1 when it crosses the wrap link of a dimension, which cuts
+    every cycle (Dally-Seitz numbering exists). *)

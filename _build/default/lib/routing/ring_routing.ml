@@ -1,0 +1,35 @@
+open Builders
+
+let next_hop ?(vc = 0) topo here n =
+  let nxt = (here + 1) mod n in
+  match Topology.find_channel ~vc topo here nxt with
+  | Some c -> c
+  | None -> invalid_arg "Ring_routing: ring channel missing (wrong vcs?)"
+
+let clockwise coords =
+  let { topo; dims; _ } = coords in
+  let n = dims.(0) in
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None else Some (next_hop topo here n)
+  in
+  Routing.create ~name:"ring-clockwise" topo f
+
+let dateline coords =
+  let { topo; dims; _ } = coords in
+  let n = dims.(0) in
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None
+    else begin
+      let vc =
+        match input with
+        | Routing.Inject _ -> if here = n - 1 then 1 else 0
+        | Routing.From c ->
+          (* once on vc 1 stay on vc 1; switch when crossing n-1 -> 0 *)
+          if Topology.vc topo c = 1 then 1 else if here = n - 1 then 1 else 0
+      in
+      Some (next_hop ~vc topo here n)
+    end
+  in
+  Routing.create ~name:"ring-dateline" topo f

@@ -1,0 +1,14 @@
+(** Routing on a unidirectional ring.
+
+    The clockwise algorithm is the canonical deadlocking example (its CDG is
+    the ring itself, the cycle is reachable -- Theorem 2 territory: every
+    message enters the cycle at its source, so there is no shared channel
+    outside the cycle).  The dateline variant needs [~vcs:2] and is the
+    canonical Dally-Seitz fix. *)
+
+val clockwise : Builders.coords -> Routing.t
+(** Always forward on vc 0.  Cyclic CDG; deadlock reachable. *)
+
+val dateline : Builders.coords -> Routing.t
+(** Forward on vc 0 until the message crosses node 0, then on vc 1.
+    Acyclic CDG; deadlock-free. *)

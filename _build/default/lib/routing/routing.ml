@@ -1,0 +1,103 @@
+type input = Inject of Topology.node | From of Topology.channel
+
+type t = {
+  name : string;
+  topo : Topology.t;
+  f : input -> Topology.node -> Topology.channel option;
+}
+
+let create ~name topo f = { name; topo; f }
+
+let name t = t.name
+
+let topology t = t.topo
+
+let current_node topo = function
+  | Inject v -> v
+  | From c -> Topology.dst topo c
+
+let next t input dest = t.f input dest
+
+let path t s d =
+  if s = d then Ok []
+  else begin
+    let limit = (4 * Topology.num_channels t.topo) + 4 in
+    let rec walk input acc steps =
+      if steps > limit then
+        Error
+          (Printf.sprintf "%s: no delivery from %s to %s within %d steps (livelock?)" t.name
+             (Topology.node_name t.topo s) (Topology.node_name t.topo d) limit)
+      else begin
+        let here = current_node t.topo input in
+        match t.f input d with
+        | None ->
+          if here = d then Ok (List.rev acc)
+          else
+            Error
+              (Printf.sprintf "%s: consumed at %s but destination is %s" t.name
+                 (Topology.node_name t.topo here) (Topology.node_name t.topo d))
+        | Some c ->
+          if Topology.src t.topo c <> here then
+            Error
+              (Printf.sprintf "%s: routed onto %s which does not leave %s" t.name
+                 (Topology.channel_name t.topo c) (Topology.node_name t.topo here))
+          else if here = d then
+            Error
+              (Printf.sprintf "%s: passed through destination %s without consuming" t.name
+                 (Topology.node_name t.topo d))
+          else walk (From c) (c :: acc) (steps + 1)
+      end
+    in
+    walk (Inject s) [] 0
+  end
+
+let path_exn t s d =
+  match path t s d with Ok p -> p | Error e -> failwith e
+
+let validate t =
+  let n = Topology.num_nodes t.topo in
+  let rec pairs s d =
+    if s >= n then Ok ()
+    else if d >= n then pairs (s + 1) 0
+    else if s = d then pairs s (d + 1)
+    else
+      match path t s d with
+      | Ok _ -> pairs s (d + 1)
+      | Error e -> Error e
+  in
+  pairs 0 0
+
+let iter_realized t k =
+  let seen = Hashtbl.create 256 in
+  let emit input dest c =
+    let key = (input, dest) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key c;
+      k input dest c
+    end
+  in
+  let n = Topology.num_nodes t.topo in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then
+        match path t s d with
+        | Error _ -> () (* validate reports these; nothing to enumerate *)
+        | Ok chans ->
+          let rec steps input = function
+            | [] -> ()
+            | c :: rest ->
+              emit input d c;
+              steps (From c) rest
+          in
+          steps (Inject s) chans
+    done
+  done
+
+let pp_path t ppf = function
+  | [] -> Format.pp_print_string ppf "(empty)"
+  | first :: _ as chans ->
+    Format.pp_print_string ppf (Topology.node_name t.topo (Topology.src t.topo first));
+    List.iter
+      (fun c ->
+        Format.fprintf ppf " -> %s" (Topology.node_name t.topo (Topology.dst t.topo c)))
+      chans

@@ -1,0 +1,53 @@
+(** Oblivious routing algorithms (Definitions 2 and 3 of the paper).
+
+    A routing function has the form [C x N -> C]: the output channel depends
+    on the input channel the message arrived on and on its destination.
+    Injection at the source is modeled by the [Inject] input, so the routing
+    algorithm [R(src, dst)] of Definition 3 is recovered by iterating the
+    function from [Inject src].
+
+    The function only needs to be defined along {e realized} inputs: pairs
+    [(input, dest)] that actually occur while routing some message from some
+    source to [dest].  [validate] checks totality and termination over all
+    source/destination pairs. *)
+
+type input =
+  | Inject of Topology.node  (** message being injected at this node *)
+  | From of Topology.channel  (** message arrived on this channel *)
+
+type t
+
+val create :
+  name:string -> Topology.t -> (input -> Topology.node -> Topology.channel option) -> t
+(** [create ~name topo f] wraps routing function [f].  [f input dest] returns
+    the output channel, or [None] to consume (legal only when the current
+    node {e is} [dest]). *)
+
+val name : t -> string
+val topology : t -> Topology.t
+
+val current_node : Topology.t -> input -> Topology.node
+(** The node at which a routing decision for this input is made. *)
+
+val next : t -> input -> Topology.node -> Topology.channel option
+(** One routing step. *)
+
+val path : t -> Topology.node -> Topology.node -> (Topology.channel list, string) result
+(** The unique path from source to destination, or an error describing the
+    failure (livelock, broken channel chain, premature consumption...).
+    The walk is cut off after [4 * num_channels + 4] steps. *)
+
+val path_exn : t -> Topology.node -> Topology.node -> Topology.channel list
+(** @raise Failure when [path] returns an error. *)
+
+val validate : t -> (unit, string) result
+(** Check every ordered pair of distinct nodes is delivered. *)
+
+val iter_realized : t -> (input -> Topology.node -> Topology.channel -> unit) -> unit
+(** Iterate all realized routing decisions: for every source/destination
+    pair, every step of the path, including the injection step.  This is the
+    enumeration the CDG builder and the property checkers consume.
+    Decisions are deduplicated. *)
+
+val pp_path : t -> Format.formatter -> Topology.channel list -> unit
+(** Render a path as ["Src -cs-> N* -...-> D1"]. *)

@@ -1,0 +1,41 @@
+let check_chain topo s d chans =
+  let rec walk here = function
+    | [] ->
+      if here <> d then invalid_arg "Table_routing: path does not end at its destination"
+    | c :: rest ->
+      if Topology.src topo c <> here then
+        invalid_arg "Table_routing: path is not a connected channel chain";
+      walk (Topology.dst topo c) rest
+  in
+  if chans = [] then invalid_arg "Table_routing: empty path";
+  walk s chans
+
+let of_paths ~name ~default topo paths =
+  let table : (Routing.input * Topology.node, Topology.channel option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let bind key value =
+    match Hashtbl.find_opt table key with
+    | Some existing when existing <> value ->
+      invalid_arg
+        (Printf.sprintf
+           "Table_routing %s: conflicting entries for the same (input, destination) key" name)
+    | Some _ -> ()
+    | None -> Hashtbl.add table key value
+  in
+  List.iter
+    (fun (s, d, chans) ->
+      check_chain topo s d chans;
+      let rec steps input = function
+        | [] -> bind (input, d) None
+        | c :: rest ->
+          bind (input, d) (Some c);
+          steps (Routing.From c) rest
+      in
+      steps (Routing.Inject s) chans)
+    paths;
+  Routing.create ~name topo (fun input dest ->
+      match Hashtbl.find_opt table (input, dest) with
+      | Some decision -> decision
+      | None ->
+        if Routing.current_node topo input = dest then None else default input dest)

@@ -1,0 +1,20 @@
+(** Table-backed oblivious routing: explicit paths override a default rule.
+
+    This is how the paper-figure algorithms are expressed: the handful of
+    exceptional source/destination pairs follow their drawn paths, everything
+    else follows the default (e.g. "via the hub"). *)
+
+val of_paths :
+  name:string ->
+  default:(Routing.input -> Topology.node -> Topology.channel option) ->
+  Topology.t ->
+  (Topology.node * Topology.node * Topology.channel list) list ->
+  Routing.t
+(** [of_paths ~name ~default topo paths] compiles [(src, dst, channels)]
+    triples into routing-table entries keyed by [(input, dst)] and falls back
+    to [default] elsewhere.
+
+    @raise Invalid_argument if a path is not a connected channel chain from
+    its source to its destination, or if two paths disagree on the output
+    channel for the same [(input, destination)] key (the algorithm would not
+    be oblivious). *)

@@ -1,0 +1,60 @@
+open Builders
+
+let west_first coords =
+  let { topo; dims; coord; node_at } = coords in
+  if Array.length dims <> 2 then invalid_arg "Turn_model.west_first: 2-D mesh required";
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None
+    else begin
+      let hc = coord here and dc = coord dest in
+      let nc = Array.copy hc in
+      if dc.(0) < hc.(0) then nc.(0) <- hc.(0) - 1 (* west *)
+      else if dc.(1) <> hc.(1) then
+        nc.(1) <- (if dc.(1) > hc.(1) then hc.(1) + 1 else hc.(1) - 1)
+      else nc.(0) <- hc.(0) + 1 (* east *);
+      match Topology.find_channel topo here (node_at nc) with
+      | Some c -> Some c
+      | None -> invalid_arg "Turn_model.west_first: missing mesh channel"
+    end
+  in
+  Routing.create ~name:"west-first" topo f
+
+let north_last coords =
+  let { topo; dims; coord; node_at } = coords in
+  if Array.length dims <> 2 then invalid_arg "Turn_model.north_last: 2-D mesh required";
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None
+    else begin
+      let hc = coord here and dc = coord dest in
+      let nc = Array.copy hc in
+      if dc.(0) <> hc.(0) then nc.(0) <- (if dc.(0) > hc.(0) then hc.(0) + 1 else hc.(0) - 1)
+      else if dc.(1) < hc.(1) then nc.(1) <- hc.(1) - 1 (* south before north *)
+      else nc.(1) <- hc.(1) + 1 (* north hops last *);
+      match Topology.find_channel topo here (node_at nc) with
+      | Some c -> Some c
+      | None -> invalid_arg "Turn_model.north_last: missing mesh channel"
+    end
+  in
+  Routing.create ~name:"north-last" topo f
+
+let negative_first coords =
+  let { topo; dims; coord; node_at } = coords in
+  if Array.length dims <> 2 then invalid_arg "Turn_model.negative_first: 2-D mesh required";
+  let f input dest =
+    let here = Routing.current_node topo input in
+    if here = dest then None
+    else begin
+      let hc = coord here and dc = coord dest in
+      let nc = Array.copy hc in
+      if dc.(0) < hc.(0) then nc.(0) <- hc.(0) - 1
+      else if dc.(1) < hc.(1) then nc.(1) <- hc.(1) - 1
+      else if dc.(0) > hc.(0) then nc.(0) <- hc.(0) + 1
+      else nc.(1) <- hc.(1) + 1;
+      match Topology.find_channel topo here (node_at nc) with
+      | Some c -> Some c
+      | None -> invalid_arg "Turn_model.negative_first: missing mesh channel"
+    end
+  in
+  Routing.create ~name:"negative-first" topo f

@@ -1,0 +1,20 @@
+(** An oblivious instantiation of the Glass-Ni west-first turn model on a 2-D
+    mesh: all west (x-) hops first, then the vertical hops, then the east
+    (x+) hops.  Only turns out of the west direction are taken, so both
+    prohibited turns (north-to-west, south-to-west) are avoided and the CDG
+    is acyclic.  Unlike XY routing the vertical phase happens in the middle,
+    giving the test-suite a second, structurally different coherent
+    algorithm. *)
+
+val west_first : Builders.coords -> Routing.t
+(** @raise Invalid_argument if the coordinate scheme is not 2-dimensional. *)
+
+val north_last : Builders.coords -> Routing.t
+(** North-last: the two prohibited turns are out of north, so all north
+    (y+) hops are deferred to the end; before that the message routes west
+    or east first, then south.  Oblivious instantiation; acyclic CDG. *)
+
+val negative_first : Builders.coords -> Routing.t
+(** Negative-first: all negative-direction hops (x-, y-) happen before any
+    positive-direction hop; the prohibited turns are from a positive to a
+    negative direction.  Oblivious instantiation; acyclic CDG. *)

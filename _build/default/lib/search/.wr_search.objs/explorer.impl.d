@@ -1,0 +1,1 @@
+lib/search/explorer.ml: Array Combinat Engine Format Fun List Paper_nets Routing Schedule Topology

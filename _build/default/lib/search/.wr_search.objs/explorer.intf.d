@@ -1,0 +1,1 @@
+lib/search/explorer.mli: Engine Format Paper_nets Routing Schedule Topology

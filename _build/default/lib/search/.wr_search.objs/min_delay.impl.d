@@ -1,0 +1,1 @@
+lib/search/min_delay.ml: Array Cd_algorithm Explorer List Paper_nets

@@ -1,0 +1,1 @@
+lib/search/min_delay.mli: Explorer Paper_nets

@@ -1,0 +1,1 @@
+lib/search/model_checker.ml: Array Cd_algorithm Combinat Format Hashtbl List Paper_nets Queue Routing String Topology

@@ -1,0 +1,1 @@
+lib/search/model_checker.mli: Format Paper_nets Routing Topology

@@ -1,0 +1,220 @@
+type msg_template = {
+  t_label : string;
+  t_src : Topology.node;
+  t_dst : Topology.node;
+  t_lengths : int list;
+  t_holds : (Topology.channel * int) list list;
+  t_offsets : int list;
+}
+
+type priority_mode = Fifo_only | Follow_order | All_permutations
+
+type space = {
+  messages : msg_template list;
+  gaps : int list;
+  buffers : int list;
+  try_all_orders : bool;
+  priorities : priority_mode;
+  max_cycles : int;
+}
+
+let default_space messages =
+  {
+    messages;
+    gaps = [ 0; 1 ];
+    buffers = [ 1; 2 ];
+    try_all_orders = true;
+    priorities = All_permutations;
+    max_cycles = 10_000;
+  }
+
+let wide_space messages = { (default_space messages) with gaps = [ 0; 1; 2; 3 ] }
+
+let minimal_length_template rt ?(extra = [ 0; 1 ]) ?(holds = [ [] ]) ?(offsets = [ 0 ]) label
+    src dst =
+  let hops = List.length (Routing.path_exn rt src dst) in
+  {
+    t_label = label;
+    t_src = src;
+    t_dst = dst;
+    t_lengths = List.map (fun e -> max 1 (hops + e)) extra;
+    t_holds = holds;
+    t_offsets = offsets;
+  }
+
+let intent_template ?(extra = [ -2; -1; 0; 1 ]) ?(holds = [ [] ]) ?offsets net
+    (intent : Paper_nets.intent) =
+  let span = List.length (Paper_nets.in_cycle_channels net intent) in
+  let base = max 1 span in
+  let offsets =
+    match offsets with
+    | Some l -> l
+    | None ->
+      (* own-source messages do not contend for the shared channel, so the
+         interesting injection times are not captured by the serial order;
+         sweep a window of extra delays for them *)
+      if intent.i_src = net.Paper_nets.source then [ 0 ] else [ 0; 2; 4; 6; 8; 10 ]
+  in
+  {
+    t_label = intent.i_label;
+    t_src = intent.i_src;
+    t_dst = intent.i_dst;
+    t_lengths = List.map (fun e -> max 1 (base + e)) extra;
+    t_holds = holds;
+    t_offsets = offsets;
+  }
+
+type witness = {
+  w_schedule : Schedule.t;
+  w_config : Engine.config;
+  w_info : Engine.deadlock_info;
+}
+
+type verdict =
+  | No_deadlock of { runs : int }
+  | Deadlock_found of { runs : int; witness : witness }
+
+let is_deadlock_found = function Deadlock_found _ -> true | No_deadlock _ -> false
+
+let fact n =
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+let pow b e =
+  let rec go acc k = if k = 0 then acc else go (acc * b) (k - 1) in
+  go 1 e
+
+let space_size sp =
+  let n = List.length sp.messages in
+  let orders = if sp.try_all_orders then fact n else 1 in
+  let prios = match sp.priorities with All_permutations -> fact n | Fifo_only | Follow_order -> 1 in
+  let gaps = pow (List.length sp.gaps) (max 0 (n - 1)) in
+  let lengths = List.fold_left (fun acc t -> acc * List.length t.t_lengths) 1 sp.messages in
+  let holds = List.fold_left (fun acc t -> acc * List.length t.t_holds) 1 sp.messages in
+  let offsets = List.fold_left (fun acc t -> acc * List.length t.t_offsets) 1 sp.messages in
+  orders * prios * gaps * lengths * holds * offsets * List.length sp.buffers
+
+exception Found of witness
+
+let explore ?(stop_at_first = true) rt sp =
+  let n = List.length sp.messages in
+  if n = 0 then invalid_arg "Explorer.explore: empty message set";
+  List.iter
+    (fun t ->
+      if t.t_lengths = [] || t.t_holds = [] || t.t_offsets = [] then
+        invalid_arg "Explorer.explore: template with empty candidate list")
+    sp.messages;
+  let templates = Array.of_list sp.messages in
+  let runs = ref 0 in
+  let last_witness = ref None in
+  let run ~order ~priority ~gap_choice ~len_choice ~hold_choice ~off_choice ~buffer =
+    let inject_time = Array.make n 0 in
+    let t = ref 0 in
+    Array.iteri
+      (fun j mi ->
+        if j > 0 then t := !t + gap_choice.(j - 1);
+        inject_time.(mi) <- !t + List.nth templates.(mi).t_offsets off_choice.(mi))
+      order;
+    let sched =
+      List.init n (fun mi ->
+          let tpl = templates.(mi) in
+          {
+            Schedule.ms_label = tpl.t_label;
+            ms_src = tpl.t_src;
+            ms_dst = tpl.t_dst;
+            ms_length = List.nth tpl.t_lengths len_choice.(mi);
+            ms_inject_at = inject_time.(mi);
+            ms_holds = List.nth tpl.t_holds hold_choice.(mi);
+          })
+    in
+    let arbitration =
+      match priority with
+      | None -> Engine.Fifo
+      | Some p -> Engine.Priority (Array.to_list (Array.map (fun mi -> templates.(mi).t_label) p))
+    in
+    let config =
+      { Engine.buffer_capacity = buffer; arbitration; switching = Engine.Wormhole;
+        max_cycles = sp.max_cycles }
+    in
+    incr runs;
+    match Engine.run ~config rt sched with
+    | Engine.Deadlock info ->
+      (* replay to confirm determinism before reporting *)
+      let confirmed =
+        match Engine.run ~config rt sched with
+        | Engine.Deadlock info' -> info'.Engine.d_cycle = info.Engine.d_cycle
+        | _ -> false
+      in
+      if not confirmed then failwith "Explorer: witness failed to replay";
+      if info.Engine.d_wait_cycle = [] then
+        failwith "Explorer: reported deadlock has no wait-for cycle (engine bug)";
+      let w = { w_schedule = sched; w_config = config; w_info = info } in
+      last_witness := Some w;
+      if stop_at_first then raise (Found w)
+    | Engine.All_delivered _ | Engine.Cutoff _ -> ()
+  in
+  let gap_arr = Array.of_list sp.gaps in
+  let explore_assignments order priority =
+    let gap_choice = Array.make (max 0 (n - 1)) 0 in
+    let len_choice = Array.make n 0 in
+    let hold_choice = Array.make n 0 in
+    let off_choice = Array.make n 0 in
+    let rec gaps j =
+      if j = Array.length gap_choice then lens 0
+      else
+        for g = 0 to Array.length gap_arr - 1 do
+          gap_choice.(j) <- gap_arr.(g);
+          gaps (j + 1)
+        done
+    and lens mi =
+      if mi = n then offs 0
+      else
+        for l = 0 to List.length templates.(mi).t_lengths - 1 do
+          len_choice.(mi) <- l;
+          lens (mi + 1)
+        done
+    and offs mi =
+      if mi = n then holds 0
+      else
+        for o = 0 to List.length templates.(mi).t_offsets - 1 do
+          off_choice.(mi) <- o;
+          offs (mi + 1)
+        done
+    and holds mi =
+      if mi = n then
+        List.iter
+          (fun b ->
+            run ~order ~priority ~gap_choice ~len_choice ~hold_choice ~off_choice ~buffer:b)
+          sp.buffers
+      else
+        for h = 0 to List.length templates.(mi).t_holds - 1 do
+          hold_choice.(mi) <- h;
+          holds (mi + 1)
+        done
+    in
+    gaps 0
+  in
+  let with_priorities order =
+    match sp.priorities with
+    | Fifo_only -> explore_assignments order None
+    | Follow_order -> explore_assignments order (Some order)
+    | All_permutations ->
+      Combinat.iter_permutations
+        (fun p -> explore_assignments order (Some (Array.copy p)))
+        (Array.init n Fun.id)
+  in
+  (try
+     if sp.try_all_orders then
+       Combinat.iter_permutations (fun order -> with_priorities (Array.copy order)) (Array.init n Fun.id)
+     else with_priorities (Array.init n Fun.id)
+   with Found _ -> ());
+  match !last_witness with
+  | Some w -> Deadlock_found { runs = !runs; witness = w }
+  | None -> No_deadlock { runs = !runs }
+
+let pp_verdict topo ppf = function
+  | No_deadlock { runs } -> Format.fprintf ppf "no deadlock in %d runs" runs
+  | Deadlock_found { runs; witness } ->
+    Format.fprintf ppf "deadlock found after %d runs:@\n" runs;
+    Format.fprintf ppf "%a" (Engine.pp_outcome topo) (Engine.Deadlock witness.w_info);
+    Format.fprintf ppf "schedule:@\n%a" (Schedule.pp topo) witness.w_schedule

@@ -1,0 +1,94 @@
+(** Exhaustive reachability search over adversarial injection schedules.
+
+    This is the computational counterpart of the paper's hand proofs: a
+    deadlock configuration is {e reachable} iff some combination of
+    - injection order of the messages,
+    - inter-injection gaps,
+    - message lengths,
+    - flit-buffer capacity,
+    - arbitration tie-breaks (the paper's adversary: "the message that can
+      lead to deadlock acquires the channel"), and
+    - adversarial in-network holds (Section 6)
+    drives the simulator into a permanently blocked state.  The search
+    enumerates a bounded but worst-case-containing portion of that space --
+    the paper's own arguments (Section 4) establish that one-flit buffers
+    and messages just long enough to hold their in-cycle channels are the
+    hardest case; larger gaps and lengths only let earlier messages drain
+    further before the blockers arrive.
+
+    Every witness is replayed before being reported. *)
+
+type msg_template = {
+  t_label : string;
+  t_src : Topology.node;
+  t_dst : Topology.node;
+  t_lengths : int list;  (** candidate flit lengths (non-empty) *)
+  t_holds : (Topology.channel * int) list list;
+      (** candidate adversarial hold assignments; [[]] = only "no holds" *)
+  t_offsets : int list;
+      (** extra injection delays added on top of the order-derived time;
+          [[0]] for messages serialized by a shared channel, a window for
+          own-source messages whose interesting start times are unrelated to
+          the serial order *)
+}
+
+type priority_mode =
+  | Fifo_only  (** ties broken by schedule order only *)
+  | Follow_order  (** ties favour the current injection order *)
+  | All_permutations
+      (** sweep every priority permutation independently of injection order
+          -- the sound encoding of the paper's adversary *)
+
+type space = {
+  messages : msg_template list;
+  gaps : int list;  (** candidate inter-injection gaps (cycles), e.g. [0;1] *)
+  buffers : int list;  (** candidate flit-buffer capacities, e.g. [1;2] *)
+  try_all_orders : bool;  (** permute the injection order *)
+  priorities : priority_mode;
+  max_cycles : int;  (** per-run safety cutoff *)
+}
+
+val default_space : msg_template list -> space
+(** gaps [0;1], buffers [1;2], all orders, all priority permutations,
+    10_000-cycle cutoff. *)
+
+val wide_space : msg_template list -> space
+(** A larger confirmation sweep: gaps [0;1;2;3], buffers [1;2]. *)
+
+val minimal_length_template :
+  Routing.t -> ?extra:int list -> ?holds:(Topology.channel * int) list list ->
+  ?offsets:int list -> string -> Topology.node -> Topology.node -> msg_template
+(** Template whose base length is the message's hop count; [extra]
+    (default [[0; 1]]) lists additions to sweep. *)
+
+val intent_template :
+  ?extra:int list -> ?holds:(Topology.channel * int) list list -> ?offsets:int list ->
+  Paper_nets.net -> Paper_nets.intent -> msg_template
+(** Template for a paper-network message whose base length is its {e
+    in-cycle span} -- the paper's "just long enough to hold the channels in
+    the cycle", the worst case for deadlock formation.  [extra] defaults to
+    [[-2; -1; 0; 1]]: spans below the nominal value matter because a message
+    blocks its successor at the successor's ring entry, so the minimum
+    blocking length is the inter-entry gap, up to two below the span. *)
+
+type witness = {
+  w_schedule : Schedule.t;
+  w_config : Engine.config;
+  w_info : Engine.deadlock_info;
+}
+
+type verdict =
+  | No_deadlock of { runs : int }
+  | Deadlock_found of { runs : int; witness : witness }
+
+val explore : ?stop_at_first:bool -> Routing.t -> space -> verdict
+(** Enumerate the space in a deterministic order.  With [stop_at_first]
+    (default true) stop at the first confirmed witness; otherwise the last
+    witness found is returned and [runs] counts the full space. *)
+
+val space_size : space -> int
+(** Number of simulator runs [explore] would perform without early exit. *)
+
+val is_deadlock_found : verdict -> bool
+
+val pp_verdict : Topology.t -> Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/sim/adaptive_engine.ml: Adaptive Array Engine Format Hashtbl List Routing Schedule String Topology Vec

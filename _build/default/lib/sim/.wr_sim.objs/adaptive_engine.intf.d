@@ -1,0 +1,1 @@
+lib/sim/adaptive_engine.mli: Adaptive Engine Format Schedule Topology

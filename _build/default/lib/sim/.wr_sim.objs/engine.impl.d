@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Format Hashtbl List Routing Schedule String Topology

@@ -1,0 +1,1 @@
+lib/sim/pwfg.ml: Engine Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/pwfg.mli: Engine

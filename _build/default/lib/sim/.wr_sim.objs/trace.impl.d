@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Char Engine Hashtbl List Printf String Topology

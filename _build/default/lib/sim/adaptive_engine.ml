@@ -1,0 +1,288 @@
+type outcome =
+  | All_delivered of { finished_at : int; messages : Engine.message_result list }
+  | Deadlock of {
+      at_cycle : int;
+      blocked : (string * Topology.channel list) list;
+      wait_cycle : string list;
+    }
+  | Cutoff of { at : int }
+
+let is_deadlock = function Deadlock _ -> true | All_delivered _ | Cutoff _ -> false
+
+(* Message state: [taken] is the path the header has carved so far; flits
+   occupy a suffix window of it, exactly as in the oblivious engine. *)
+type msg_state = {
+  spec : Schedule.message_spec;
+  idx : int;
+  taken : Topology.channel Vec.t;
+  occ : int Vec.t;
+  mutable head : int;  (* index into taken; -1 before injection; = length taken when consumed *)
+  mutable arrived : bool;  (* header reached the destination node *)
+  mutable injected : int;
+  mutable consumed : int;
+  mutable injected_at : int option;
+  mutable delivered_at : int option;
+  mutable released_up_to : int;
+  mutable wait_since : int;  (* cycle the header last started waiting *)
+}
+
+let run ?(config = Engine.default_config) adaptive sched =
+  if config.Engine.buffer_capacity < 1 then invalid_arg "Adaptive_engine.run: buffer_capacity < 1";
+  let topo = Adaptive.topology adaptive in
+  let labels = List.map (fun (m : Schedule.message_spec) -> m.ms_label) sched in
+  if List.length (List.sort_uniq compare labels) <> List.length labels then
+    invalid_arg "Adaptive_engine.run: duplicate message labels";
+  List.iter
+    (fun (m : Schedule.message_spec) ->
+      if m.ms_length < 1 then invalid_arg "Adaptive_engine.run: length < 1";
+      if m.ms_src = m.ms_dst then invalid_arg "Adaptive_engine.run: source equals destination")
+    sched;
+  let cap = config.Engine.buffer_capacity in
+  let marr =
+    Array.of_list
+      (List.mapi
+         (fun idx spec ->
+           {
+             spec;
+             idx;
+             taken = Vec.create ();
+             occ = Vec.create ();
+             head = -1;
+             arrived = false;
+             injected = 0;
+             consumed = 0;
+             injected_at = None;
+             delivered_at = None;
+             released_up_to = 0;
+             wait_since = max_int;
+           })
+         sched)
+  in
+  let nmsg = Array.length marr in
+  let nchan = Topology.num_channels topo in
+  let owner = Array.make nchan (-1) in
+  let rank =
+    match config.Engine.arbitration with
+    | Engine.Fifo -> fun m -> m.idx
+    | Engine.Priority order ->
+      let pos = Hashtbl.create 8 in
+      List.iteri (fun i l -> if not (Hashtbl.mem pos l) then Hashtbl.add pos l i) order;
+      fun m ->
+        (match Hashtbl.find_opt pos m.spec.Schedule.ms_label with
+        | Some i -> (i * nmsg) + m.idx
+        | None -> (List.length order * nmsg) + m.idx)
+  in
+  (* current option list of a message's header, [] when it cannot move *)
+  let current_options m t =
+    if m.delivered_at <> None || m.arrived then []
+    else if m.head = -1 then
+      if m.injected = 0 && t >= m.spec.Schedule.ms_inject_at then
+        Adaptive.options adaptive (Routing.Inject m.spec.ms_src) m.spec.ms_dst
+      else []
+    else begin
+      let c = Vec.get m.taken m.head in
+      if Topology.dst topo c = m.spec.Schedule.ms_dst then []
+      else Adaptive.options adaptive (Routing.From c) m.spec.ms_dst
+    end
+  in
+  let moved = ref false in
+  let delivered = ref 0 in
+  let results () =
+    Array.to_list
+      (Array.map
+         (fun m ->
+           {
+             Engine.r_label = m.spec.Schedule.ms_label;
+             r_injected_at = m.injected_at;
+             r_delivered_at = m.delivered_at;
+           })
+         marr)
+  in
+  let cycle = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    let t = !cycle in
+    moved := false;
+    (* -- allocation: headers claim their first free option; earlier
+          waiters first, then priority -- *)
+    let claimants =
+      Array.to_list marr
+      |> List.filter (fun m -> current_options m t <> [])
+      |> List.map (fun m ->
+             if m.wait_since = max_int then m.wait_since <- t;
+             m)
+      |> List.sort (fun a b -> compare (a.wait_since, rank a) (b.wait_since, rank b))
+    in
+    let awarded = Hashtbl.create 8 in
+    List.iter
+      (fun m ->
+        let opts = current_options m t in
+        let free =
+          List.find_opt
+            (fun c ->
+              owner.(c) = -1
+              && (not (Hashtbl.mem awarded c))
+              && not (Vec.exists (fun c' -> c' = c) m.taken))
+            opts
+        in
+        match free with
+        | Some c ->
+          Hashtbl.add awarded c m.idx;
+          owner.(c) <- m.idx;
+          m.wait_since <- max_int;
+          moved := true
+        | None -> ())
+      claimants;
+    (* -- movement -- *)
+    Array.iter
+      (fun m ->
+        if m.delivered_at = None then begin
+          let k = Vec.length m.taken in
+          (* consumption at the destination *)
+          if k > 0 then begin
+            let last = Vec.get m.taken (k - 1) in
+            if Topology.dst topo last = m.spec.Schedule.ms_dst && m.head >= k - 1 then begin
+              if m.head = k - 1 then begin
+                m.arrived <- true;
+                m.head <- k
+              end;
+              if Vec.get m.occ (k - 1) > 0 then begin
+                Vec.set m.occ (k - 1) (Vec.get m.occ (k - 1) - 1);
+                m.consumed <- m.consumed + 1;
+                moved := true;
+                if m.consumed = m.spec.Schedule.ms_length then m.delivered_at <- Some t
+              end
+            end
+          end;
+          (* header hop into a channel awarded this cycle *)
+          (match Hashtbl.fold (fun c i acc -> if i = m.idx then Some c else acc) awarded None with
+          | Some c ->
+            if m.head = -1 then begin
+              (* header injection *)
+              Vec.push m.taken c;
+              Vec.push m.occ 1;
+              m.head <- 0;
+              m.injected <- 1;
+              m.injected_at <- Some t;
+              moved := true
+            end
+            else begin
+              Vec.push m.taken c;
+              Vec.push m.occ 0;
+              Vec.set m.occ m.head (Vec.get m.occ m.head - 1);
+              Vec.set m.occ (m.head + 1) 1;
+              m.head <- m.head + 1;
+              moved := true
+            end
+          | None -> ());
+          (* data flits cascade *)
+          let k = Vec.length m.taken in
+          let front = min (m.head - 1) (k - 2) in
+          for i = front downto 0 do
+            if Vec.get m.occ i > 0 && Vec.get m.occ (i + 1) < cap then begin
+              Vec.set m.occ i (Vec.get m.occ i - 1);
+              Vec.set m.occ (i + 1) (Vec.get m.occ (i + 1) + 1);
+              moved := true
+            end
+          done;
+          (* injection of subsequent flits *)
+          if m.injected > 0 && m.injected < m.spec.Schedule.ms_length && Vec.get m.occ 0 < cap
+          then begin
+            Vec.set m.occ 0 (Vec.get m.occ 0 + 1);
+            m.injected <- m.injected + 1;
+            moved := true
+          end;
+          (* release fully-traversed channels *)
+          if m.injected = m.spec.Schedule.ms_length then begin
+            let i = ref m.released_up_to in
+            let continue = ref true in
+            while !continue && !i < Vec.length m.taken do
+              if
+                Vec.get m.occ !i = 0
+                && owner.(Vec.get m.taken !i) = m.idx
+                && (!i < m.head || m.arrived)
+              then begin
+                owner.(Vec.get m.taken !i) <- -1;
+                moved := true;
+                incr i
+              end
+              else continue := false
+            done;
+            m.released_up_to <- !i
+          end;
+          if m.delivered_at = Some t then incr delivered
+        end)
+      marr;
+    (* -- termination -- *)
+    if !delivered = nmsg then
+      outcome := Some (All_delivered { finished_at = t; messages = results () })
+    else if t >= config.Engine.max_cycles then outcome := Some (Cutoff { at = t })
+    else if not !moved then begin
+      let future =
+        Array.exists
+          (fun m -> m.delivered_at = None && m.injected = 0 && t < m.spec.Schedule.ms_inject_at)
+          marr
+      in
+      if not future then begin
+        let blocked =
+          Array.to_list marr
+          |> List.filter_map (fun m ->
+                 if m.delivered_at <> None then None
+                 else
+                   match current_options m t with
+                   | [] -> None
+                   | opts -> Some (m.spec.Schedule.ms_label, opts))
+        in
+        (* chase wait-for edges through the first blocked option's owner *)
+        let next i =
+          match current_options marr.(i) t with
+          | c :: _ when owner.(c) >= 0 && owner.(c) <> i -> Some owner.(c)
+          | _ -> None
+        in
+        let wait_cycle =
+          let rec chase seen i =
+            match next i with
+            | None -> None
+            | Some j ->
+              if List.mem j seen then
+                Some
+                  (let rec drop = function
+                     | [] -> []
+                     | x :: rest -> if x = j then x :: rest else drop rest
+                   in
+                   drop (List.rev (i :: seen)))
+              else chase (i :: seen) j
+          in
+          let starts =
+            Array.to_list marr
+            |> List.filter_map (fun m -> if m.delivered_at = None then Some m.idx else None)
+          in
+          let rec try_starts = function
+            | [] -> []
+            | s :: rest -> (
+              match chase [] s with
+              | Some c -> List.map (fun i -> marr.(i).spec.Schedule.ms_label) c
+              | None -> try_starts rest)
+          in
+          try_starts starts
+        in
+        outcome := Some (Deadlock { at_cycle = t; blocked; wait_cycle })
+      end
+    end;
+    incr cycle
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let pp_outcome topo ppf = function
+  | All_delivered { finished_at; messages } ->
+    Format.fprintf ppf "all %d messages delivered by cycle %d" (List.length messages)
+      finished_at
+  | Cutoff { at } -> Format.fprintf ppf "cutoff at cycle %d" at
+  | Deadlock { at_cycle; blocked; wait_cycle } ->
+    Format.fprintf ppf "ADAPTIVE DEADLOCK at cycle %d; wait cycle: %s@\n" at_cycle
+      (String.concat " -> " wait_cycle);
+    List.iter
+      (fun (l, opts) ->
+        Format.fprintf ppf "  %s blocked on {%s}@\n" l
+          (String.concat ", " (List.map (Topology.channel_name topo) opts)))
+      blocked

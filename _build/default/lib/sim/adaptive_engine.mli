@@ -1,0 +1,30 @@
+(** Flit-level simulation of adaptive wormhole routing.
+
+    Same switching model as {!Engine} (atomic buffer allocation, one hop
+    per cycle, wormhole worms, starvation-free arbitration), but the header
+    chooses dynamically among the routing function's permitted output
+    channels: each cycle every blocked header claims the first {e free}
+    channel in its option list, with contention resolved by waiting time
+    and then by an explicit priority order.  Data flits follow the path the
+    header actually took.
+
+    Restricted to adaptive functions whose choices never revisit a channel
+    (every minimal algorithm qualifies); {!Adaptive.validate} should be
+    checked beforehand. *)
+
+type outcome =
+  | All_delivered of { finished_at : int; messages : Engine.message_result list }
+  | Deadlock of {
+      at_cycle : int;
+      blocked : (string * Topology.channel list) list;
+          (** message, the options it is blocked on *)
+      wait_cycle : string list;
+    }
+  | Cutoff of { at : int }
+
+val run : ?config:Engine.config -> Adaptive.t -> Schedule.t -> outcome
+(** @raise Invalid_argument on malformed schedules or configs. *)
+
+val is_deadlock : outcome -> bool
+
+val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit

@@ -1,0 +1,398 @@
+type arbitration = Fifo | Priority of string list
+
+type switching = Wormhole | Store_and_forward
+
+type config = {
+  buffer_capacity : int;
+  arbitration : arbitration;
+  switching : switching;
+  max_cycles : int;
+}
+
+let default_config =
+  { buffer_capacity = 1; arbitration = Fifo; switching = Wormhole; max_cycles = 100_000 }
+
+type message_result = {
+  r_label : string;
+  r_injected_at : int option;
+  r_delivered_at : int option;
+}
+
+type blocked_info = {
+  b_label : string;
+  b_waiting_for : Topology.channel;
+  b_holder : string option;
+}
+
+type deadlock_info = {
+  d_cycle : int;
+  d_blocked : blocked_info list;
+  d_wait_cycle : string list;
+  d_occupancy : (Topology.channel * string * int) list;
+}
+
+type outcome =
+  | All_delivered of { finished_at : int; messages : message_result list }
+  | Deadlock of deadlock_info
+  | Cutoff of { at : int; messages : message_result list }
+
+type snapshot = {
+  s_cycle : int;
+  s_occupancy : (Topology.channel * string * int) list;
+  s_waiting : (string * Topology.channel * string option) list;
+  s_moved : bool;
+}
+
+let is_deadlock = function Deadlock _ -> true | All_delivered _ | Cutoff _ -> false
+
+(* Per-message mutable state.  [head] is the path index of the channel whose
+   queue contains the header flit; -1 before injection, [path length] once
+   the header has been consumed at the destination. *)
+type msg_state = {
+  spec : Schedule.message_spec;
+  idx : int;  (* schedule position, used for deterministic tie-breaks *)
+  path : Topology.channel array;
+  occ : int array;  (* flits currently buffered at each path position *)
+  mutable head : int;
+  mutable injected : int;
+  mutable consumed : int;
+  mutable hold : int;
+  mutable hold_fresh : bool;  (* hold was (re)set this cycle; skip one decrement *)
+  mutable injected_at : int option;
+  mutable delivered_at : int option;
+  mutable released_up_to : int;  (* path positions < this have been released *)
+}
+
+let hold_for m c =
+  match List.assoc_opt c m.spec.Schedule.ms_holds with Some t -> t | None -> 0
+
+let run ?(config = default_config) ?probe rt sched =
+  if config.buffer_capacity < 1 then invalid_arg "Engine.run: buffer_capacity < 1";
+  if config.max_cycles < 1 then invalid_arg "Engine.run: max_cycles < 1";
+  (match Schedule.validate rt sched with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Engine.run: " ^ e));
+  (match config.switching with
+  | Store_and_forward ->
+    List.iter
+      (fun (m : Schedule.message_spec) ->
+        if m.ms_length > config.buffer_capacity then
+          invalid_arg "Engine.run: store-and-forward needs buffer_capacity >= message length")
+      sched
+  | Wormhole -> ());
+  let topo = Routing.topology rt in
+  let nchan = Topology.num_channels topo in
+  let cap = config.buffer_capacity in
+  let msgs =
+    List.mapi
+      (fun idx (spec : Schedule.message_spec) ->
+        let path = Array.of_list (Routing.path_exn rt spec.ms_src spec.ms_dst) in
+        {
+          spec;
+          idx;
+          path;
+          occ = Array.make (Array.length path) 0;
+          head = -1;
+          injected = 0;
+          consumed = 0;
+          hold = 0;
+          hold_fresh = false;
+          injected_at = None;
+          delivered_at = None;
+          released_up_to = 0;
+        })
+      sched
+  in
+  let marr = Array.of_list msgs in
+  let nmsg = Array.length marr in
+  let owner = Array.make nchan (-1) in
+  (* (channel, msg) -> first cycle the message requested the channel *)
+  let wait_since = Hashtbl.create 32 in
+  let rank =
+    match config.arbitration with
+    | Fifo -> fun m -> m.idx
+    | Priority order ->
+      let pos = Hashtbl.create 8 in
+      List.iteri (fun i l -> if not (Hashtbl.mem pos l) then Hashtbl.add pos l i) order;
+      fun m ->
+        (match Hashtbl.find_opt pos m.spec.ms_label with
+        | Some i -> (i * nmsg) + m.idx
+        | None -> (List.length order * nmsg) + m.idx)
+  in
+  let moved = ref false in
+  let delivered = ref 0 in
+  let results () =
+    Array.to_list
+      (Array.map
+         (fun m ->
+           { r_label = m.spec.ms_label; r_injected_at = m.injected_at;
+             r_delivered_at = m.delivered_at })
+         marr)
+  in
+  (* The channel a message is currently waiting for, if it is blocked on
+     channel acquisition. *)
+  let assembled m =
+    (* store-and-forward: the whole packet must sit in the header's queue *)
+    match config.switching with
+    | Wormhole -> true
+    | Store_and_forward -> m.head >= 0 && m.occ.(m.head) = m.spec.Schedule.ms_length
+  in
+  let wanted m =
+    if m.delivered_at <> None then None
+    else if m.head = -1 then Some m.path.(0)
+    else if m.head < Array.length m.path - 1 && m.hold = 0 && assembled m then
+      Some m.path.(m.head + 1)
+    else None
+  in
+  let set_hold m c =
+    let h = hold_for m c in
+    m.hold <- h;
+    m.hold_fresh <- h > 0
+  in
+  let cycle = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    let t = !cycle in
+    moved := false;
+    (* -- arbitration: register requests, then award each free channel -- *)
+    let requested = Hashtbl.create 8 in
+    Array.iter
+      (fun m ->
+        match wanted m with
+        | Some c when m.head >= 0 || (m.injected = 0 && t >= m.spec.ms_inject_at) ->
+          if not (Hashtbl.mem wait_since (c, m.idx)) then Hashtbl.add wait_since (c, m.idx) t;
+          Hashtbl.replace requested c ()
+        | Some _ | None -> ())
+      marr;
+    Hashtbl.iter
+      (fun c () ->
+        if owner.(c) = -1 then begin
+          let best = ref None in
+          Array.iter
+            (fun m ->
+              match wanted m with
+              | Some c' when c' = c && (m.head >= 0 || (m.injected = 0 && t >= m.spec.ms_inject_at))
+                -> (
+                let since =
+                  match Hashtbl.find_opt wait_since (c, m.idx) with Some s -> s | None -> t
+                in
+                let key = (since, rank m) in
+                match !best with
+                | Some (bk, _) when bk <= key -> ()
+                | _ -> best := Some (key, m))
+              | Some _ | None -> ())
+            marr;
+          match !best with
+          | Some (_, m) ->
+            owner.(c) <- m.idx;
+            Hashtbl.remove wait_since (c, m.idx);
+            moved := true
+          | None -> ()
+        end)
+      requested;
+    (* -- movement: per message, sweep from the front so freed slots are
+          visible to the flits behind (wormhole pipelining) -- *)
+    Array.iter
+      (fun m ->
+        let k = Array.length m.path in
+        if m.delivered_at = None then begin
+          (* consumption at the destination *)
+          if (m.head = k || (m.head = k - 1 && m.hold = 0)) && m.occ.(k - 1) > 0 then begin
+            m.occ.(k - 1) <- m.occ.(k - 1) - 1;
+            m.consumed <- m.consumed + 1;
+            if m.head = k - 1 then m.head <- k;
+            moved := true;
+            if m.consumed = m.spec.ms_length then m.delivered_at <- Some t
+          end;
+          (* header hop into an acquired channel *)
+          if
+            m.head >= 0 && m.head < k - 1 && m.hold = 0
+            && owner.(m.path.(m.head + 1)) = m.idx
+          then begin
+            m.occ.(m.head) <- m.occ.(m.head) - 1;
+            m.occ.(m.head + 1) <- m.occ.(m.head + 1) + 1;
+            m.head <- m.head + 1;
+            set_hold m m.path.(m.head);
+            moved := true
+          end;
+          (* data flits cascade toward the header *)
+          let front = min (m.head - 1) (k - 2) in
+          for i = front downto 0 do
+            if m.occ.(i) > 0 && m.occ.(i + 1) < cap then begin
+              m.occ.(i) <- m.occ.(i) - 1;
+              m.occ.(i + 1) <- m.occ.(i + 1) + 1;
+              moved := true
+            end
+          done;
+          (* injection of the next flit at the source *)
+          if m.injected < m.spec.ms_length then begin
+            if m.injected = 0 then begin
+              if owner.(m.path.(0)) = m.idx && m.head = -1 then begin
+                m.occ.(0) <- 1;
+                m.injected <- 1;
+                m.head <- 0;
+                m.injected_at <- Some t;
+                set_hold m m.path.(0);
+                moved := true
+              end
+            end
+            else if m.occ.(0) < cap && owner.(m.path.(0)) = m.idx then begin
+              m.occ.(0) <- m.occ.(0) + 1;
+              m.injected <- m.injected + 1;
+              moved := true
+            end
+          end;
+          (* release: channels the whole message has passed through *)
+          if m.injected = m.spec.ms_length then begin
+            let i = ref m.released_up_to in
+            let continue = ref true in
+            while !continue && !i < k do
+              if m.occ.(!i) = 0 && owner.(m.path.(!i)) = m.idx && (!i < m.head || m.head = k)
+              then begin
+                owner.(m.path.(!i)) <- -1;
+                moved := true;
+                incr i
+              end
+              else continue := false
+            done;
+            m.released_up_to <- !i
+          end;
+          if m.delivered_at = Some t then incr delivered;
+          (* hold countdown (skip the cycle the hold was set); expiry is
+             progress: the header will act next cycle *)
+          if m.hold > 0 then begin
+            if m.hold_fresh then m.hold_fresh <- false
+            else begin
+              m.hold <- m.hold - 1;
+              if m.hold = 0 then moved := true
+            end
+          end
+        end)
+      marr;
+    (* -- end of cycle: probe and termination checks -- *)
+    (match probe with
+    | None -> ()
+    | Some f ->
+      let occupancy =
+        let acc = ref [] in
+        Array.iter
+          (fun m ->
+            Array.iteri
+              (fun i n -> if n > 0 then acc := (m.path.(i), m.spec.Schedule.ms_label, n) :: !acc)
+              m.occ)
+          marr;
+        List.sort compare !acc
+      in
+      let waiting =
+        Array.to_list marr
+        |> List.filter_map (fun m ->
+               if m.delivered_at <> None then None
+               else
+                 match wanted m with
+                 | Some c when m.head >= 0 && owner.(c) <> m.idx ->
+                   Some
+                     ( m.spec.Schedule.ms_label,
+                       c,
+                       if owner.(c) >= 0 then Some marr.(owner.(c)).spec.Schedule.ms_label
+                       else None )
+                 | Some _ | None -> None)
+      in
+      f { s_cycle = t; s_occupancy = occupancy; s_waiting = waiting; s_moved = !moved });
+    if !delivered = nmsg then outcome := Some (All_delivered { finished_at = t; messages = results () })
+    else if t >= config.max_cycles then outcome := Some (Cutoff { at = t; messages = results () })
+    else if not !moved then begin
+      let future =
+        Array.exists
+          (fun m ->
+            m.delivered_at = None
+            && ((m.injected = 0 && t < m.spec.ms_inject_at) || m.hold > 0))
+          marr
+      in
+      if not future then begin
+        (* permanently blocked: build the witness *)
+        let label i = marr.(i).spec.Schedule.ms_label in
+        let blocked =
+          Array.to_list marr
+          |> List.filter_map (fun m ->
+                 if m.delivered_at <> None then None
+                 else
+                   match wanted m with
+                   | None -> None
+                   | Some c ->
+                     Some
+                       {
+                         b_label = m.spec.ms_label;
+                         b_waiting_for = c;
+                         b_holder = (if owner.(c) >= 0 then Some (label owner.(c)) else None);
+                       })
+        in
+        (* follow the wait-for edges from any blocked message to find a cycle *)
+        let wait_cycle =
+          let next i =
+            match wanted marr.(i) with
+            | Some c when owner.(c) >= 0 && owner.(c) <> i -> Some owner.(c)
+            | Some _ | None -> None
+          in
+          let start =
+            Array.to_list marr
+            |> List.filter_map (fun m -> if m.delivered_at = None then Some m.idx else None)
+          in
+          let rec chase seen i =
+            match next i with
+            | None -> None
+            | Some j ->
+              if List.mem j seen then begin
+                (* cut the prefix before the first occurrence of j *)
+                let rec drop = function
+                  | [] -> []
+                  | x :: rest -> if x = j then x :: rest else drop rest
+                in
+                Some (drop (List.rev (i :: seen)))
+              end
+              else chase (i :: seen) j
+          in
+          let rec try_starts = function
+            | [] -> []
+            | s :: rest -> (
+              match chase [] s with Some c -> List.map label c | None -> try_starts rest)
+          in
+          try_starts start
+        in
+        let occupancy =
+          let acc = ref [] in
+          Array.iter
+            (fun m ->
+              Array.iteri
+                (fun i n -> if n > 0 then acc := (m.path.(i), m.spec.ms_label, n) :: !acc)
+                m.occ)
+            marr;
+          List.sort compare !acc
+        in
+        outcome :=
+          Some (Deadlock { d_cycle = t; d_blocked = blocked; d_wait_cycle = wait_cycle;
+                           d_occupancy = occupancy })
+      end
+    end;
+    incr cycle
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let pp_outcome topo ppf = function
+  | All_delivered { finished_at; messages } ->
+    Format.fprintf ppf "all %d messages delivered by cycle %d" (List.length messages)
+      finished_at
+  | Cutoff { at; _ } -> Format.fprintf ppf "cutoff at cycle %d (still moving)" at
+  | Deadlock d ->
+    Format.fprintf ppf "DEADLOCK at cycle %d; wait cycle: %s@\n" d.d_cycle
+      (String.concat " -> " d.d_wait_cycle);
+    List.iter
+      (fun b ->
+        Format.fprintf ppf "  %s waits for %s held by %s@\n" b.b_label
+          (Topology.channel_name topo b.b_waiting_for)
+          (match b.b_holder with Some h -> h | None -> "(free)"))
+      d.d_blocked;
+    List.iter
+      (fun (c, l, n) ->
+        Format.fprintf ppf "  %s holds %s (%d flit%s)@\n" l (Topology.channel_name topo c) n
+          (if n > 1 then "s" else ""))
+      d.d_occupancy

@@ -1,0 +1,103 @@
+(** Cycle-accurate flit-level wormhole simulation.
+
+    The engine implements exactly the model of Section 3 of the paper:
+
+    - each unidirectional channel has a FIFO flit queue of configurable
+      capacity (default one flit) with {e atomic buffer allocation}
+      (assumption 4): a queue holds flits of at most one message, and it
+      must transmit the last flit of the current message before it may
+      accept the header of the next -- release happens at the end of a
+      cycle, acquisition no earlier than the next cycle;
+    - flits advance at most one hop per cycle; the header acquires channels,
+      data flits follow the header's path (wormhole switching);
+    - a header that cannot proceed keeps all channels the message occupies
+      (no abort/recovery);
+    - the destination consumes one flit per cycle once the header arrives
+      (assumption 2);
+    - arbitration among simultaneous requests for the same channel is
+      starvation-free (assumption 5): earlier waiters win, and ties among
+      same-cycle requests are broken by an explicit priority order so the
+      adversary of the paper's proofs ("the message that can lead to
+      deadlock acquires the channel") can be realized by sweeping
+      priorities;
+    - per-message adversarial holds realize the bounded clock skew /
+      prolonged-delay discussion of Sections 3 and 6.
+
+    Because routing is oblivious and the engine deterministic, a run is a
+    pure function of (routing, schedule, config). *)
+
+type arbitration =
+  | Fifo  (** earlier waiters first; same-cycle ties by schedule order *)
+  | Priority of string list
+      (** same-cycle ties broken by this label order (earlier = wins);
+          labels absent from the list rank last, in schedule order *)
+
+type switching =
+  | Wormhole
+      (** flits advance as soon as possible; a blocked worm spans many
+          channels (the paper's model) *)
+  | Store_and_forward
+      (** the header may only advance once the whole packet is buffered in
+          its current channel (requires [buffer_capacity] at least the
+          longest message); the classic pre-wormhole discipline *)
+
+type config = {
+  buffer_capacity : int;  (** flits per channel queue; >= 1 *)
+  arbitration : arbitration;
+  switching : switching;
+      (** [Wormhole] with [buffer_capacity >= max length] behaves as
+          virtual cut-through (a blocked message compresses into one
+          queue, releasing upstream channels); intermediate capacities are
+          the paper's "buffered wormhole" *)
+  max_cycles : int;  (** safety cutoff; runs are expected to finish earlier *)
+}
+
+val default_config : config
+(** capacity 1, FIFO, wormhole, 100_000 cycles. *)
+
+type message_result = {
+  r_label : string;
+  r_injected_at : int option;  (** cycle the header entered the network *)
+  r_delivered_at : int option;  (** cycle the tail flit was consumed *)
+}
+
+type blocked_info = {
+  b_label : string;
+  b_waiting_for : Topology.channel;
+  b_holder : string option;  (** owner of the wanted channel, if any *)
+}
+
+type deadlock_info = {
+  d_cycle : int;  (** cycle at which the state became permanently blocked *)
+  d_blocked : blocked_info list;
+  d_wait_cycle : string list;  (** labels of one cycle in the wait-for graph *)
+  d_occupancy : (Topology.channel * string * int) list;
+      (** channel, owning message, buffered flit count *)
+}
+
+type outcome =
+  | All_delivered of { finished_at : int; messages : message_result list }
+  | Deadlock of deadlock_info
+  | Cutoff of { at : int; messages : message_result list }
+      (** [max_cycles] reached with traffic still moving (no deadlock) *)
+
+type snapshot = {
+  s_cycle : int;
+  s_occupancy : (Topology.channel * string * int) list;
+      (** channel, owning message, buffered flits (only non-empty queues) *)
+  s_waiting : (string * Topology.channel * string option) list;
+      (** blocked message, wanted channel, current holder *)
+  s_moved : bool;  (** something advanced this cycle *)
+}
+(** The observable network state at the end of one cycle, for probes:
+    wait-for-graph analysis (Dally-Aoki), tracing, invariant checking. *)
+
+val run : ?config:config -> ?probe:(snapshot -> unit) -> Routing.t -> Schedule.t -> outcome
+(** Simulate until every message is delivered, the network is permanently
+    blocked, or the cycle cutoff fires.
+    @raise Invalid_argument when {!Schedule.validate} rejects the schedule
+    or the config is malformed. *)
+
+val is_deadlock : outcome -> bool
+
+val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit

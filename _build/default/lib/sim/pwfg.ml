@@ -1,0 +1,36 @@
+type t = {
+  edges : (string * string) list;
+  cyclic : bool;
+}
+
+let of_snapshot (snap : Engine.snapshot) =
+  let edges =
+    List.filter_map
+      (fun (waiter, _c, holder) ->
+        match holder with Some h when h <> waiter -> Some (waiter, h) | _ -> None)
+      snap.Engine.s_waiting
+  in
+  (* detect a cycle by following the (functional) waiter -> holder edges *)
+  let next = Hashtbl.create 8 in
+  List.iter (fun (w, h) -> Hashtbl.replace next w h) edges;
+  let cyclic =
+    List.exists
+      (fun (start, _) ->
+        let rec chase seen m =
+          if List.mem m seen then true
+          else
+            match Hashtbl.find_opt next m with
+            | None -> false
+            | Some m' -> chase (m :: seen) m'
+        in
+        chase [] start)
+      edges
+  in
+  { edges; cyclic }
+
+let monitor () =
+  let first = ref None in
+  let probe snap =
+    if !first = None && (of_snapshot snap).cyclic then first := Some snap.Engine.s_cycle
+  in
+  (probe, fun () -> !first)

@@ -1,0 +1,24 @@
+(** Packet wait-for graphs (Dally-Aoki, discussed in Section 2 of the
+    paper).
+
+    The wait-for graph at an instant has an edge from message [m] to message
+    [m'] when [m] is blocked on a channel held by [m'].  Dally and Aoki
+    prove deadlock freedom for algorithms that keep this {e dynamic} graph
+    acyclic; a deadlock is exactly a cycle that can never clear.
+
+    This module evaluates wait-for graphs over the engine's per-cycle
+    snapshots, so tests can assert the invariant "the PWFG stays acyclic
+    until the run deadlocks" on live traffic. *)
+
+type t = {
+  edges : (string * string) list;  (** waiter -> holder *)
+  cyclic : bool;
+}
+
+val of_snapshot : Engine.snapshot -> t
+(** Build the wait-for graph of one instant. *)
+
+val monitor : unit -> (Engine.snapshot -> unit) * (unit -> int option)
+(** [let probe, first_cyclic = monitor ()] returns an engine probe and a
+    query: after the run, [first_cyclic ()] is the first cycle at which the
+    wait-for graph contained a cycle, if any. *)

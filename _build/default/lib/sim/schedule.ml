@@ -1,0 +1,52 @@
+type message_spec = {
+  ms_label : string;
+  ms_src : Topology.node;
+  ms_dst : Topology.node;
+  ms_length : int;
+  ms_inject_at : int;
+  ms_holds : (Topology.channel * int) list;
+}
+
+type t = message_spec list
+
+let message ?(length = 1) ?(at = 0) ?(holds = []) label src dst =
+  { ms_label = label; ms_src = src; ms_dst = dst; ms_length = length; ms_inject_at = at;
+    ms_holds = holds }
+
+let validate rt sched =
+  let labels = List.map (fun m -> m.ms_label) sched in
+  if List.length (List.sort_uniq compare labels) <> List.length labels then
+    Error "duplicate message labels"
+  else begin
+    let rec check = function
+      | [] -> Ok ()
+      | m :: rest ->
+        if m.ms_length < 1 then Error (m.ms_label ^ ": length < 1")
+        else if m.ms_inject_at < 0 then Error (m.ms_label ^ ": negative injection time")
+        else if m.ms_src = m.ms_dst then Error (m.ms_label ^ ": source equals destination")
+        else if List.exists (fun (_, t) -> t < 0) m.ms_holds then
+          Error (m.ms_label ^ ": negative hold")
+        else
+          match Routing.path rt m.ms_src m.ms_dst with
+          | Error e -> Error (m.ms_label ^ ": " ^ e)
+          | Ok p ->
+            (* the engine's occupancy model needs each channel to appear at
+               most once on a message's path *)
+            if List.length (List.sort_uniq compare p) <> List.length p then
+              Error (m.ms_label ^ ": path visits a channel twice")
+            else check rest
+    in
+    check sched
+  end
+
+let pp topo ppf sched =
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%s: %s->%s len=%d t=%d" m.ms_label
+        (Topology.node_name topo m.ms_src) (Topology.node_name topo m.ms_dst) m.ms_length
+        m.ms_inject_at;
+      List.iter
+        (fun (c, t) -> Format.fprintf ppf " hold(%s,%d)" (Topology.channel_name topo c) t)
+        m.ms_holds;
+      Format.pp_print_newline ppf ())
+    sched

@@ -1,0 +1,58 @@
+type t = Engine.snapshot list
+
+let collector () =
+  let acc = ref [] in
+  let probe snap = acc := snap :: !acc in
+  ((fun () -> List.rev !acc), probe)
+
+let occupancy_of trace c =
+  List.concat_map
+    (fun (s : Engine.snapshot) ->
+      List.filter_map
+        (fun (c', owner, n) -> if c' = c then Some (s.Engine.s_cycle, owner, n) else None)
+        s.Engine.s_occupancy)
+    trace
+
+let render ?(max_cycles = 120) topo trace =
+  let cycles = List.length trace in
+  let shown = min cycles max_cycles in
+  (* channel -> per-cycle cell *)
+  let first_seen = Hashtbl.create 32 in
+  let cells = Hashtbl.create 32 in
+  List.iteri
+    (fun i (s : Engine.snapshot) ->
+      if i < shown then
+        List.iter
+          (fun (c, owner, n) ->
+            if not (Hashtbl.mem first_seen c) then Hashtbl.add first_seen c i;
+            let ch = if owner = "" then '?' else owner.[0] in
+            let ch = if n > 1 then Char.uppercase_ascii ch else Char.lowercase_ascii ch in
+            Hashtbl.replace cells (c, i) ch)
+          s.Engine.s_occupancy)
+    trace;
+  let channels =
+    Hashtbl.fold (fun c i acc -> (i, c) :: acc) first_seen []
+    |> List.sort compare
+    |> List.map snd
+  in
+  let buf = Buffer.create 1024 in
+  let name_width =
+    List.fold_left (fun w c -> max w (String.length (Topology.channel_name topo c))) 7 channels
+  in
+  Buffer.add_string buf (Printf.sprintf "%-*s " name_width "channel");
+  for i = 0 to shown - 1 do
+    Buffer.add_char buf (if i mod 10 = 0 then Char.chr (Char.code '0' + i / 10 mod 10) else ' ')
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "%-*s " name_width (Topology.channel_name topo c));
+      for i = 0 to shown - 1 do
+        Buffer.add_char buf
+          (match Hashtbl.find_opt cells (c, i) with Some ch -> ch | None -> '.')
+      done;
+      Buffer.add_char buf '\n')
+    channels;
+  if cycles > shown then
+    Buffer.add_string buf (Printf.sprintf "... (%d more cycles)\n" (cycles - shown));
+  Buffer.contents buf

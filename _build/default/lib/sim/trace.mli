@@ -1,0 +1,28 @@
+(** Human-readable timelines of simulation runs.
+
+    Built on the engine's per-cycle snapshots: collect a run's history and
+    render it as a channel-occupancy timeline, one row per channel, one
+    column per cycle -- the pictures wormhole-routing papers draw by hand.
+
+    {[
+      let trace, probe = Trace.collector () in
+      let outcome = Engine.run ~probe rt sched in
+      print_string (Trace.render topo (trace ()))
+    ]} *)
+
+type t = Engine.snapshot list
+(** Snapshots in cycle order. *)
+
+val collector : unit -> (unit -> t) * (Engine.snapshot -> unit)
+(** [let get, probe = collector ()] accumulates snapshots; [get ()] returns
+    them in cycle order. *)
+
+val render : ?max_cycles:int -> Topology.t -> t -> string
+(** One row per channel that was ever occupied, one column per cycle; the
+    cell shows the first letter of the occupying message's label (uppercase
+    when the queue holds more than one flit, ['.'] when free).  Rows are
+    sorted by first occupancy.  [max_cycles] (default 120) truncates wide
+    timelines. *)
+
+val occupancy_of : t -> Topology.channel -> (int * string * int) list
+(** The (cycle, owner, flits) history of one channel. *)

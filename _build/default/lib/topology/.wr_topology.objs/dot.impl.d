@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Buffer Fun List Printf String Topology

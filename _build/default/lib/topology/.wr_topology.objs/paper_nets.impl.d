@@ -1,0 +1,1 @@
+lib/topology/paper_nets.ml: Array List Printf String Topology

@@ -1,0 +1,1 @@
+lib/topology/paper_nets.mli: Topology

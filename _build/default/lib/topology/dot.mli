@@ -1,0 +1,8 @@
+(** Graphviz export of topologies, optionally highlighting a set of channels
+    (e.g. the channels of a dependency cycle, as in the paper's figures). *)
+
+val to_dot : ?highlight:Topology.channel list -> ?label:string -> Topology.t -> string
+(** Render as a [digraph].  Highlighted channels are drawn bold red. *)
+
+val write_file : ?highlight:Topology.channel list -> ?label:string -> string -> Topology.t -> unit
+(** Write the dot rendering to a file path. *)

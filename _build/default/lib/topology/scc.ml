@@ -1,0 +1,70 @@
+(* Iterative Tarjan SCC.  The explicit stack holds (vertex, remaining
+   successors) frames so deep graphs cannot overflow the call stack. *)
+
+let tarjan ~n ~succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp_count = ref 0 in
+  let frames = ref [] in
+  let push_frame v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    frames := (v, ref (succ v)) :: !frames
+  in
+  let finish v =
+    if lowlink.(v) = index.(v) then begin
+      let rec popc () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          comp.(w) <- !comp_count;
+          if w <> v then popc ()
+      in
+      popc ();
+      incr comp_count
+    end
+  in
+  let run root =
+    push_frame root;
+    let continue = ref true in
+    while !continue do
+      match !frames with
+      | [] -> continue := false
+      | (v, rest) :: tail -> (
+        match !rest with
+        | [] ->
+          finish v;
+          frames := tail;
+          (match tail with
+          | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | [] -> ())
+        | w :: ws ->
+          rest := ws;
+          if index.(w) = -1 then push_frame w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then run v
+  done;
+  (comp, !comp_count)
+
+let has_cycle ~n ~succ =
+  let comp, count = tarjan ~n ~succ in
+  let size = Array.make count 0 in
+  for v = 0 to n - 1 do
+    size.(comp.(v)) <- size.(comp.(v)) + 1
+  done;
+  Array.exists (fun c -> c > 1) size
+  ||
+  let rec self v = v < n && (List.mem v (succ v) || self (v + 1)) in
+  self 0

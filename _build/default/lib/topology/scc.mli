@@ -1,0 +1,13 @@
+(** Tarjan's strongly connected components over an implicit graph.
+
+    Shared by the topology layer (strong connectivity of networks) and the
+    CDG layer (cyclicity of dependency graphs). *)
+
+val tarjan : n:int -> succ:(int -> int list) -> int array * int
+(** [tarjan ~n ~succ] returns [(comp, count)]: [comp.(v)] is the component id
+    of vertex [v] (ids are in reverse topological order of the condensation:
+    a component only has edges into components with {e smaller} ids), and
+    [count] is the number of components.  Iterative, safe on large graphs. *)
+
+val has_cycle : n:int -> succ:(int -> int list) -> bool
+(** True iff some component has more than one vertex or a self-loop exists. *)

@@ -1,0 +1,24 @@
+(** Fixed-capacity bitsets over integers [0..n-1].
+
+    Used for visited sets in graph algorithms and channel-occupancy masks in
+    the search layer. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0..n-1]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val copy : t -> t
+val equal : t -> t -> bool
+val union_into : t -> t -> unit
+(** [union_into dst src] adds all of [src] into [dst]; capacities must match. *)
+
+val hash : t -> int

@@ -1,0 +1,52 @@
+type 'a t = (int * 'a) Vec.t
+
+let create () = Vec.create ()
+
+let length = Vec.length
+
+let is_empty = Vec.is_empty
+
+let swap h i j =
+  let tmp = Vec.get h i in
+  Vec.set h i (Vec.get h j);
+  Vec.set h j tmp
+
+let key h i = fst (Vec.get h i)
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if key h i < key h parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < n && key h l < key h i then l else i in
+  let smallest = if r < n && key h r < key h smallest then r else smallest in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let add h k v =
+  Vec.push h (k, v);
+  sift_up h (Vec.length h - 1)
+
+let peek h = if Vec.is_empty h then None else Some (Vec.get h 0)
+
+let pop h =
+  if Vec.is_empty h then None
+  else begin
+    let top = Vec.get h 0 in
+    let n = Vec.length h in
+    swap h 0 (n - 1);
+    ignore (Vec.pop h);
+    if not (Vec.is_empty h) then sift_down h 0;
+    Some top
+  end
+
+let clear = Vec.clear

@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by integer priorities.
+
+    Used by the simulator's event bookkeeping and by shortest-path search in
+    the topology layer. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> int -> 'a -> unit
+(** [add h key v] inserts [v] with priority [key] (smaller pops first). *)
+
+val peek : 'a t -> (int * 'a) option
+val pop : 'a t -> (int * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,26 @@
+(** Running statistics accumulators for simulation measurements. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (Welford); 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in \[0,100\]; nearest-rank over retained
+    samples.  0 when empty. *)
+
+val merge : t -> t -> t
+val pp : Format.formatter -> t -> unit

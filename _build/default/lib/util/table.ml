@@ -1,0 +1,54 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  rows : string list Vec.t;
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then invalid_arg "Table.create: aligns length";
+      a
+    | None -> List.map (fun _ -> Left) headers
+  in
+  { headers; aligns; rows = Vec.create () }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then invalid_arg "Table.add_row: row length";
+  Vec.push t.rows row
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  Vec.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    t.rows;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i (cell, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(i) cell))
+      (List.combine cells t.aligns);
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  Vec.iter emit_row t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

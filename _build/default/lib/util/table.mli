@@ -1,0 +1,20 @@
+(** Aligned ASCII tables for experiment reports.
+
+    All experiment binaries print their results through this module so that
+    EXPERIMENTS.md rows can be regenerated verbatim. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table; [aligns] defaults to all [Left]. *)
+
+val add_row : t -> string list -> unit
+(** Row length must match the header length. *)
+
+val render : t -> string
+(** Render with a header separator; rows in insertion order. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,10 @@
+(** Disjoint sets over integers [0..n-1] with path compression and
+    union by rank. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val count_sets : t -> int

@@ -1,0 +1,1 @@
+lib/workload/measure.ml: Engine Format Hashtbl List Schedule Stats

@@ -1,0 +1,1 @@
+lib/workload/measure.mli: Engine Format Routing Schedule

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array Builders Fun List Printf Rng Schedule Topology

@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Builders Rng Schedule Topology

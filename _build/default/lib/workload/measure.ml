@@ -1,0 +1,57 @@
+type report = {
+  total : int;
+  delivered : int;
+  finished_at : int;
+  deadlocked : bool;
+  avg_latency : float;
+  p95_latency : float;
+  max_latency : float;
+  throughput : float;
+}
+
+let run ?config rt sched =
+  let outcome = Engine.run ?config rt sched in
+  let by_label = Hashtbl.create 64 in
+  List.iter (fun (m : Schedule.message_spec) -> Hashtbl.replace by_label m.ms_label m) sched;
+  let stats = Stats.create () in
+  let flits = ref 0 in
+  let collect (results : Engine.message_result list) =
+    List.iter
+      (fun (r : Engine.message_result) ->
+        match r.r_delivered_at with
+        | None -> ()
+        | Some fin ->
+          let spec = Hashtbl.find by_label r.r_label in
+          flits := !flits + spec.Schedule.ms_length;
+          Stats.add stats (float_of_int (fin - spec.Schedule.ms_inject_at + 1)))
+      results
+  in
+  let finished_at, deadlocked =
+    match outcome with
+    | Engine.All_delivered { finished_at; messages } ->
+      collect messages;
+      (finished_at, false)
+    | Engine.Cutoff { at; messages } ->
+      collect messages;
+      (at, false)
+    | Engine.Deadlock d -> (d.Engine.d_cycle, true)
+  in
+  {
+    total = List.length sched;
+    delivered = Stats.count stats;
+    finished_at;
+    deadlocked;
+    avg_latency = Stats.mean stats;
+    p95_latency = Stats.percentile stats 95.0;
+    max_latency = (if Stats.count stats = 0 then 0.0 else Stats.max_value stats);
+    throughput =
+      (if finished_at <= 0 then 0.0 else float_of_int !flits /. float_of_int (finished_at + 1));
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%d/%d delivered%s in %d cycles; latency avg %.1f p95 %.1f max %.0f; throughput %.3f \
+     flits/cycle"
+    r.delivered r.total
+    (if r.deadlocked then " (DEADLOCK)" else "")
+    r.finished_at r.avg_latency r.p95_latency r.max_latency r.throughput

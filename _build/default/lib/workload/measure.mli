@@ -1,0 +1,19 @@
+(** Latency/throughput measurement of a simulated workload. *)
+
+type report = {
+  total : int;  (** messages in the schedule *)
+  delivered : int;
+  finished_at : int;  (** last simulated cycle *)
+  deadlocked : bool;
+  avg_latency : float;  (** injection-request to tail-consumption, cycles *)
+  p95_latency : float;
+  max_latency : float;
+  throughput : float;  (** delivered flits per cycle, network-wide *)
+}
+
+val run : ?config:Engine.config -> Routing.t -> Schedule.t -> report
+(** Simulate and aggregate.  Latency for a message counts from its scheduled
+    injection time (so source queueing is included).  A deadlocked run
+    reports [deadlocked = true] with zero delivery statistics. *)
+
+val pp : Format.formatter -> report -> unit

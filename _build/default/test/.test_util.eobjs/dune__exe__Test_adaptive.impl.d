@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Adaptive Adaptive_engine Alcotest Array Builders Dimension_order Duato Engine Format List Option Printf Ring_routing Rng Routing Scc Schedule Topology Traffic

@@ -1,0 +1,1 @@
+test/test_cdg.ml: Alcotest Array Builders Cd_algorithm Cdg Cycle_analysis Dimension_order Format List Paper_nets Ring_routing Routing String Theorem5 Topology

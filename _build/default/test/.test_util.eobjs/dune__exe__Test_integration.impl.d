@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Builders Cd_algorithm Dimension_order Experiments Format List Paper_nets Ring_routing String Turn_model Verify

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Builders Cd_algorithm Cdg Dimension_order Format Hashtbl List Paper_nets Properties Ring_routing Routing String Table_routing Topology Turn_model

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Builders Cd_algorithm Engine Explorer Format List Min_delay Model_checker Paper_nets Printf Ring_routing Schedule

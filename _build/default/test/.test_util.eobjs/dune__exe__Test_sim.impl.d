@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Builders Engine Format List Option Printf Ring_routing Routing Schedule String Topology

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Builders Dot List Paper_nets Scc String Topology

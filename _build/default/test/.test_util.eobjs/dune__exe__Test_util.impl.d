@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Combinat Fun Hashtbl Heap List Printf Rng Stats String Table Union_find Vec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Builders Dimension_order Format List Measure Rng Schedule String Traffic

@@ -1,0 +1,392 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   These check the library's core invariants over randomized inputs:
+   data-structure laws, routing/CDG soundness, simulator conservation and
+   determinism, and the Dally-Seitz theorem itself (acyclic CDG implies no
+   deadlock under random traffic). *)
+
+let count n = n (* default iteration count per property *)
+
+(* ---- data structures ---- *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:(count 200)
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with Some (k, ()) -> drain (k :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with a set model" ~count:(count 200)
+    QCheck.(list (pair bool (int_bound 63)))
+    (fun ops ->
+      let b = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add b i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove b i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      let expected = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model []) in
+      Bitset.to_list b = expected && Bitset.cardinal b = List.length expected)
+
+let prop_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_list/to_list roundtrip" ~count:(count 200)
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let prop_permutations_are_permutations =
+  QCheck.Test.make ~name:"iter_permutations yields permutations" ~count:(count 50)
+    QCheck.(int_bound 4)
+    (fun n ->
+      let base = List.init n Fun.id in
+      let ok = ref true in
+      Combinat.iter_permutations
+        (fun a -> if List.sort compare (Array.to_list a) <> base then ok := false)
+        (Array.of_list base);
+      !ok)
+
+let prop_stats_mean =
+  QCheck.Test.make ~name:"stats mean matches direct sum" ~count:(count 200)
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let direct = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. direct) < 1e-6)
+
+(* ---- topology and routing ---- *)
+
+let mesh_dims_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* w = 2 -- 4 in
+      let* h = 2 -- 4 in
+      return [ w; h ])
+
+let prop_mesh_xy_delivers_minimally =
+  QCheck.Test.make ~name:"xy is minimal on random meshes" ~count:(count 20) mesh_dims_gen
+    (fun dims ->
+      let coords = Builders.mesh dims in
+      let rt = Dimension_order.mesh coords in
+      Routing.validate rt = Ok () && Properties.is_holds (Properties.minimal rt))
+
+let prop_mesh_cdg_acyclic =
+  QCheck.Test.make ~name:"xy CDG acyclic with valid numbering" ~count:(count 20) mesh_dims_gen
+    (fun dims ->
+      let rt = Dimension_order.mesh (Builders.mesh dims) in
+      let cdg = Cdg.build rt in
+      match Cdg.numbering cdg with
+      | None -> false
+      | Some f ->
+        let ok = ref true in
+        Topology.iter_channels
+          (fun c -> List.iter (fun c' -> if f.(c) >= f.(c') then ok := false) (Cdg.succ cdg c))
+          (Routing.topology rt);
+        !ok)
+
+let prop_cdg_soundness =
+  QCheck.Test.make ~name:"every path step is a CDG edge (torus)" ~count:(count 10)
+    QCheck.(pair (2 -- 4) (2 -- 4))
+    (fun (a, b) ->
+      let rt = Dimension_order.torus (Builders.torus [ a + 1; b + 1 ]) in
+      let cdg = Cdg.build rt in
+      let topo = Routing.topology rt in
+      let n = Topology.num_nodes topo in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if s <> d then begin
+            let rec chk = function
+              | c1 :: (c2 :: _ as rest) ->
+                if not (List.mem c2 (Cdg.succ cdg c1)) then ok := false;
+                chk rest
+              | _ -> ()
+            in
+            chk (Routing.path_exn rt s d)
+          end
+        done
+      done;
+      !ok)
+
+let prop_paper_net_intents_valid =
+  (* random small access-ring specs build into consistent networks *)
+  let spec_gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* ring = 6 -- 12 in
+        let* a1 = 1 -- 4 in
+        let* a2 = 1 -- 4 in
+        let* d1 = 2 -- (ring - 1) in
+        let* d2 = 2 -- (ring - 1) in
+        let* e2 = 1 -- (ring - 1) in
+        return
+          {
+            Paper_nets.s_name = "rand";
+            s_ring_len = ring;
+            s_msgs =
+              [
+                { m_label = "A"; m_source = Paper_nets.Shared; m_access = a1; m_entry = 0; m_dist = d1 };
+                { m_label = "B"; m_source = Paper_nets.Shared; m_access = a2; m_entry = e2; m_dist = d2 };
+              ];
+          })
+  in
+  QCheck.Test.make ~name:"random access-ring nets are consistent" ~count:(count 50) spec_gen
+    (fun spec ->
+      (* two messages from the shared source with the same destination node
+         would make the oblivious table ambiguous; such specs are invalid *)
+      (match spec.Paper_nets.s_msgs with
+      | [ m1; m2 ] ->
+        QCheck.assume
+          ((m1.Paper_nets.m_entry + m1.m_dist) mod spec.s_ring_len
+          <> (m2.Paper_nets.m_entry + m2.m_dist) mod spec.s_ring_len)
+      | _ -> ());
+      let net = Paper_nets.build spec in
+      let rt = Cd_algorithm.of_net net in
+      Routing.validate rt = Ok ()
+      && Topology.strongly_connected net.Paper_nets.topo
+      && List.for_all2
+           (fun (m : Paper_nets.msg_spec) (i : Paper_nets.intent) ->
+             Paper_nets.access_channel_count net i = m.m_access
+             && List.length (Paper_nets.in_cycle_channels net i) = m.m_dist
+             && Routing.path_exn rt i.i_src i.i_dst = i.i_path)
+           spec.Paper_nets.s_msgs net.Paper_nets.intents)
+
+(* ---- simulator ---- *)
+
+let schedule_gen coords =
+  let n = Topology.num_nodes coords.Builders.topo in
+  QCheck.make
+    QCheck.Gen.(
+      let msg i =
+        let* s = 0 -- (n - 1) in
+        let* d = 0 -- (n - 1) in
+        let* len = 1 -- 6 in
+        let* at = 0 -- 10 in
+        return (Schedule.message ~length:len ~at (Printf.sprintf "m%d" i) s (if d = s then (d + 1) mod n else d))
+      in
+      let* k = 1 -- 6 in
+      let rec build i acc = if i = k then return (List.rev acc) else
+          let* m = msg i in
+          build (i + 1) (m :: acc)
+      in
+      build 0 [])
+
+let mesh3 = Builders.mesh [ 3; 3 ]
+let mesh3_rt = Dimension_order.mesh mesh3
+
+let prop_acyclic_never_deadlocks =
+  (* Dally-Seitz: random traffic on an acyclic-CDG algorithm always delivers *)
+  QCheck.Test.make ~name:"acyclic CDG => no deadlock (random schedules)" ~count:(count 100)
+    (schedule_gen mesh3)
+    (fun sched ->
+      match Engine.run mesh3_rt sched with
+      | Engine.All_delivered { messages; _ } ->
+        List.for_all
+          (fun (r : Engine.message_result) ->
+            match (r.r_injected_at, r.r_delivered_at) with
+            | Some i, Some d -> d >= i
+            | _ -> false)
+          messages
+      | Engine.Deadlock _ | Engine.Cutoff _ -> false)
+
+let prop_sim_deterministic =
+  QCheck.Test.make ~name:"simulation replays identically" ~count:(count 50)
+    (schedule_gen mesh3)
+    (fun sched -> Engine.run mesh3_rt sched = Engine.run mesh3_rt sched)
+
+let ring5 = Builders.ring ~unidirectional:true 5
+let ring5_rt = Ring_routing.clockwise ring5
+
+let prop_ring_outcomes_wellformed =
+  (* on a cyclic substrate, outcomes are delivery or a closed deadlock *)
+  QCheck.Test.make ~name:"ring outcomes are delivery or closed deadlock" ~count:(count 100)
+    (schedule_gen ring5)
+    (fun sched ->
+      match Engine.run ring5_rt sched with
+      | Engine.All_delivered _ -> true
+      | Engine.Cutoff _ -> false
+      | Engine.Deadlock d ->
+        d.Engine.d_wait_cycle <> []
+        && List.for_all
+             (fun (b : Engine.blocked_info) -> b.Engine.b_holder <> None || b.b_waiting_for >= 0)
+             d.Engine.d_blocked)
+
+let prop_buffer_capacity_preserves_delivery =
+  QCheck.Test.make ~name:"bigger buffers never break delivery on acyclic nets"
+    ~count:(count 50) (schedule_gen mesh3)
+    (fun sched ->
+      let run cap =
+        let config = { Engine.default_config with buffer_capacity = cap } in
+        match Engine.run ~config mesh3_rt sched with
+        | Engine.All_delivered { finished_at; _ } -> Some finished_at
+        | _ -> None
+      in
+      match (run 1, run 3) with
+      | Some t1, Some t3 -> t3 <= t1 (* more buffering can only help or tie *)
+      | _ -> false)
+
+(* ---- random spanning-tree routing on random digraphs ---- *)
+
+(* Build a random strongly-connected topology (a ring plus random chords)
+   and an oblivious routing algorithm from per-destination in-trees (BFS
+   trees toward each destination).  This exercises Topology/Routing/Cdg on
+   structures far from the regular grids. *)
+let random_net_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = 4 -- 8 in
+      let* chords = 0 -- 6 in
+      let* seed = 0 -- 10_000 in
+      return (n, chords, seed))
+
+let build_random_net (n, chords, seed) =
+  let rng = Rng.create seed in
+  let topo = Topology.create () in
+  for i = 0 to n - 1 do
+    ignore (Topology.add_node topo (Printf.sprintf "v%d" i))
+  done;
+  for i = 0 to n - 1 do
+    ignore (Topology.add_channel topo i ((i + 1) mod n))
+  done;
+  for _ = 1 to chords do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if a <> b && Topology.find_channel topo a b = None then
+      ignore (Topology.add_channel topo a b)
+  done;
+  let rt =
+    Routing.create ~name:"bfs-tree" topo (fun input dest ->
+        let here = Routing.current_node topo input in
+        if here = dest then None
+        else
+          (* next hop along a BFS shortest path toward dest (deterministic:
+             first channel in adjacency order on a shortest path) *)
+          let dist = Topology.distance_matrix topo in
+          Topology.out_channels topo here
+          |> List.find_opt (fun c -> dist.(Topology.dst topo c).(dest) = dist.(here).(dest) - 1))
+  in
+  (topo, rt)
+
+let prop_random_net_routing_valid =
+  QCheck.Test.make ~name:"BFS-tree routing delivers on random digraphs" ~count:(count 40)
+    random_net_gen
+    (fun params ->
+      let _, rt = build_random_net params in
+      Routing.validate rt = Ok ())
+
+let prop_random_net_cdg_sound =
+  QCheck.Test.make ~name:"CDG soundness on random digraphs" ~count:(count 25) random_net_gen
+    (fun params ->
+      let topo, rt = build_random_net params in
+      let cdg = Cdg.build rt in
+      let n = Topology.num_nodes topo in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if s <> d then begin
+            let rec chk = function
+              | c1 :: (c2 :: _ as rest) ->
+                if not (List.mem c2 (Cdg.succ cdg c1)) then ok := false;
+                chk rest
+              | _ -> ()
+            in
+            chk (Routing.path_exn rt s d)
+          end
+        done
+      done;
+      !ok)
+
+let prop_random_net_acyclic_implies_safe =
+  (* Dally-Seitz on random structures: when the CDG happens to be acyclic,
+     random traffic never deadlocks; when the model checker says a message
+     population deadlocks, the CDG must be cyclic (contrapositive). *)
+  QCheck.Test.make ~name:"acyclic CDG => random traffic delivers (random digraphs)"
+    ~count:(count 25) random_net_gen
+    (fun ((n, _, seed) as params) ->
+      let _, rt = build_random_net params in
+      let cdg = Cdg.build rt in
+      let rng = Rng.create (seed + 17) in
+      let sched =
+        List.init 5 (fun i ->
+            let s = Rng.int rng n in
+            let d = (s + 1 + Rng.int rng (n - 1)) mod n in
+            Schedule.message ~length:(1 + Rng.int rng 4) ~at:(Rng.int rng 5)
+              (Printf.sprintf "m%d" i) s d)
+      in
+      match Engine.run rt sched with
+      | Engine.All_delivered _ -> true
+      | Engine.Cutoff _ -> false
+      | Engine.Deadlock _ -> not (Cdg.is_acyclic cdg))
+
+(* ---- three-sharer ground truth vs Theorem-5 checker ---- *)
+
+let three_sharer_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* perm = oneofl [ (2, 3, 4); (2, 4, 3); (3, 2, 4); (3, 4, 2); (4, 2, 3); (4, 3, 2) ] in
+      let* g1 = 2 -- 4 in
+      let* g2 = 2 -- 4 in
+      let* g3 = 2 -- 4 in
+      let* ov = 1 -- 2 in
+      return (perm, (g1, g2, g3), ov))
+
+let prop_theorem5_matches_search =
+  QCheck.Test.make ~name:"theorem-5 checker agrees with exhaustive search"
+    ~count:(count 12) three_sharer_gen
+    (fun ((a1, a2, a3), (g1, g2, g3), ov) ->
+      let spec =
+        {
+          Paper_nets.s_name = "rand3";
+          s_ring_len = g1 + g2 + g3;
+          s_msgs =
+            [
+              { m_label = "M1"; m_source = Paper_nets.Shared; m_access = a1; m_entry = 0; m_dist = g1 + ov };
+              { m_label = "M2"; m_source = Paper_nets.Shared; m_access = a2; m_entry = g1; m_dist = g2 + ov };
+              { m_label = "M3"; m_source = Paper_nets.Shared; m_access = a3; m_entry = g1 + g2; m_dist = g3 + ov };
+            ];
+        }
+      in
+      let net = Paper_nets.build spec in
+      let rt = Cd_algorithm.of_net net in
+      let cdg = Cdg.build rt in
+      match Cdg.elementary_cycles cdg with
+      | [ cycle ] -> (
+        let _, verdict = Cycle_analysis.classify cdg cycle in
+        let templates = List.map (fun i -> Explorer.intent_template net i) net.Paper_nets.intents in
+        let space = { (Explorer.default_space templates) with buffers = [ 1 ] } in
+        let found = Explorer.is_deadlock_found (Explorer.explore rt space) in
+        match verdict with
+        | Cycle_analysis.Unreachable _ -> not found
+        | Cycle_analysis.Deadlock_reachable _ -> found
+        | Cycle_analysis.Needs_search _ -> true)
+      | _ -> QCheck.assume_fail ())
+
+let suite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "qcheck"
+    [
+      suite "data-structures"
+        [ prop_heap_sorts; prop_bitset_model; prop_vec_roundtrip;
+          prop_permutations_are_permutations; prop_stats_mean ];
+      suite "routing-cdg"
+        [ prop_mesh_xy_delivers_minimally; prop_mesh_cdg_acyclic; prop_cdg_soundness;
+          prop_paper_net_intents_valid ];
+      suite "simulator"
+        [ prop_acyclic_never_deadlocks; prop_sim_deterministic; prop_ring_outcomes_wellformed;
+          prop_buffer_capacity_preserves_delivery ];
+      suite "random-nets"
+        [ prop_random_net_routing_valid; prop_random_net_cdg_sound;
+          prop_random_net_acyclic_implies_safe ];
+      suite "theorem5" [ prop_theorem5_matches_search ];
+    ]

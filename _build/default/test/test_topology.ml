@@ -1,0 +1,345 @@
+(* Unit tests for the topology layer: multigraph, builders, SCC, dot export
+   and the paper's example networks. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+(* ---- core multigraph ---- *)
+
+let test_add_nodes_channels () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" and b = Topology.add_node t "b" in
+  let c = Topology.add_channel t a b in
+  check ci "nodes" 2 (Topology.num_nodes t);
+  check ci "channels" 1 (Topology.num_channels t);
+  check ci "src" a (Topology.src t c);
+  check ci "dst" b (Topology.dst t c);
+  check ci "vc" 0 (Topology.vc t c);
+  check cs "name" "a->b" (Topology.channel_name t c);
+  check ci "by name" a (Topology.node_of_name t "a")
+
+let test_duplicate_node_rejected () =
+  let t = Topology.create () in
+  ignore (Topology.add_node t "x");
+  Alcotest.check_raises "dup" (Invalid_argument "Topology.add_node: duplicate name x")
+    (fun () -> ignore (Topology.add_node t "x"))
+
+let test_self_loop_rejected () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  Alcotest.check_raises "loop" (Invalid_argument "Topology.add_channel: self-loop") (fun () ->
+      ignore (Topology.add_channel t a a))
+
+let test_duplicate_channel_rejected () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" and b = Topology.add_node t "b" in
+  ignore (Topology.add_channel t a b);
+  Alcotest.check_raises "dup chan"
+    (Invalid_argument "Topology.add_channel: duplicate channel (same src/dst/vc)") (fun () ->
+      ignore (Topology.add_channel t a b));
+  (* distinct vc is fine: virtual channels are parallel arcs *)
+  let c1 = Topology.add_channel ~vc:1 t a b in
+  check ci "vc1" 1 (Topology.vc t c1);
+  check cs "vc name" "a->b#1" (Topology.channel_name t c1)
+
+let test_find_channel () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" and b = Topology.add_node t "b" in
+  let c0 = Topology.add_channel t a b in
+  let c1 = Topology.add_channel ~vc:1 t a b in
+  check (Alcotest.option ci) "vc0" (Some c0) (Topology.find_channel t a b);
+  check (Alcotest.option ci) "vc1" (Some c1) (Topology.find_channel ~vc:1 t a b);
+  check (Alcotest.option ci) "absent" None (Topology.find_channel t b a)
+
+let test_adjacency () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" and b = Topology.add_node t "b" and c = Topology.add_node t "c" in
+  let ab = Topology.add_channel t a b in
+  let ac = Topology.add_channel t a c in
+  let ca = Topology.add_channel t c a in
+  check (Alcotest.list ci) "out a" [ ab; ac ] (Topology.out_channels t a);
+  check (Alcotest.list ci) "in a" [ ca ] (Topology.in_channels t a);
+  check (Alcotest.list ci) "channels" [ ab; ac; ca ] (Topology.channels t)
+
+let test_strong_connectivity () =
+  let ring = Builders.ring ~unidirectional:true 5 in
+  check cb "ring SC" true (Topology.strongly_connected ring.topo);
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" and b = Topology.add_node t "b" in
+  ignore (Topology.add_channel t a b);
+  check cb "one-way not SC" false (Topology.strongly_connected t)
+
+let test_distance_and_paths () =
+  let m = Builders.mesh [ 4; 4 ] in
+  let a = m.node_at [| 0; 0 |] and b = m.node_at [| 3; 3 |] in
+  check ci "manhattan" 6 (Topology.distance m.topo a b);
+  (match Topology.shortest_path m.topo a b with
+  | Some p ->
+    check ci "path length" 6 (List.length p);
+    (* the path is a connected chain from a to b *)
+    let rec walk here = function
+      | [] -> check ci "ends at b" b here
+      | c :: rest ->
+        check ci "chain" here (Topology.src m.topo c);
+        walk (Topology.dst m.topo c) rest
+    in
+    walk a p
+  | None -> Alcotest.fail "no path");
+  let dm = Topology.distance_matrix m.topo in
+  check ci "matrix agrees" 6 dm.(a).(b);
+  check ci "self distance" 0 dm.(a).(a)
+
+let test_unreachable_distance () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" and b = Topology.add_node t "b" in
+  ignore (Topology.add_channel t a b);
+  check ci "unreachable" max_int (Topology.distance t b a);
+  check (Alcotest.option (Alcotest.list ci)) "no path" None (Topology.shortest_path t b a)
+
+(* ---- builders ---- *)
+
+let test_mesh_counts () =
+  let m = Builders.mesh [ 4; 4 ] in
+  check ci "nodes" 16 (Topology.num_nodes m.topo);
+  (* 2 * (links): 4 rows * 3 + 4 cols * 3 = 24 links, 48 channels *)
+  check ci "channels" 48 (Topology.num_channels m.topo);
+  check cb "SC" true (Topology.strongly_connected m.topo)
+
+let test_torus_counts () =
+  let t = Builders.torus [ 4; 4 ] in
+  (* every node has 4 out-channels: 16 * 4 = 64 *)
+  check ci "channels" 64 (Topology.num_channels t.topo);
+  let t2 = Builders.torus ~vcs:2 [ 4; 4 ] in
+  check ci "vcs double" 128 (Topology.num_channels t2.topo);
+  (* radix-2 dimensions have no wrap links *)
+  let t3 = Builders.torus [ 2; 2 ] in
+  check ci "2x2 torus = 2x2 mesh" (Topology.num_channels (Builders.mesh [ 2; 2 ]).topo)
+    (Topology.num_channels t3.topo)
+
+let test_hypercube () =
+  let h = Builders.hypercube 3 in
+  check ci "nodes" 8 (Topology.num_nodes h.topo);
+  check ci "channels" 24 (Topology.num_channels h.topo);
+  (* coordinate scheme round-trips *)
+  for id = 0 to 7 do
+    check ci "roundtrip" id (h.node_at (h.coord id))
+  done
+
+let test_coords_roundtrip () =
+  List.iter
+    (fun (c : Builders.coords) ->
+      for id = 0 to Topology.num_nodes c.topo - 1 do
+        check ci "roundtrip" id (c.node_at (c.coord id))
+      done)
+    [ Builders.mesh [ 3; 4 ]; Builders.torus [ 3; 3; 3 ]; Builders.line 5;
+      Builders.ring 6; Builders.complete 5; Builders.star 4 ]
+
+let test_ring_unidirectional () =
+  let r = Builders.ring ~unidirectional:true 6 in
+  check ci "channels" 6 (Topology.num_channels r.topo);
+  check cb "SC" true (Topology.strongly_connected r.topo);
+  check ci "distance around" 5 (Topology.distance r.topo 0 5)
+
+let test_complete_and_star () =
+  let c = Builders.complete 4 in
+  check ci "complete channels" 12 (Topology.num_channels c.topo);
+  check ci "complete distance" 1 (Topology.distance c.topo 0 3);
+  let s = Builders.star 5 in
+  check ci "star nodes" 6 (Topology.num_nodes s.topo);
+  check ci "leaf-to-leaf" 2 (Topology.distance s.topo 1 2)
+
+let test_builder_validation () =
+  Alcotest.check_raises "radix<2" (Invalid_argument "Builders.grid: radix < 2") (fun () ->
+      ignore (Builders.mesh [ 1 ]));
+  Alcotest.check_raises "ring<3" (Invalid_argument "Builders.ring: need at least 3 nodes")
+    (fun () -> ignore (Builders.ring 2))
+
+(* ---- SCC ---- *)
+
+let test_scc_components () =
+  (* two 2-cycles joined by a one-way edge: 2 components *)
+  let succ = function 0 -> [ 1 ] | 1 -> [ 0; 2 ] | 2 -> [ 3 ] | 3 -> [ 2 ] | _ -> [] in
+  let comp, count = Scc.tarjan ~n:4 ~succ in
+  check ci "count" 2 count;
+  check cb "0~1" true (comp.(0) = comp.(1));
+  check cb "2~3" true (comp.(2) = comp.(3));
+  check cb "0!~2" true (comp.(0) <> comp.(2));
+  (* edges go into smaller component ids *)
+  check cb "topo order" true (comp.(1) > comp.(2))
+
+let test_scc_acyclic () =
+  let succ = function 0 -> [ 1; 2 ] | 1 -> [ 2 ] | _ -> [] in
+  let _, count = Scc.tarjan ~n:3 ~succ in
+  check ci "all singleton" 3 count;
+  check cb "no cycle" false (Scc.has_cycle ~n:3 ~succ);
+  check cb "cycle" true (Scc.has_cycle ~n:2 ~succ:(function 0 -> [ 1 ] | _ -> [ 0 ]))
+
+let test_scc_deep_no_overflow () =
+  (* a 100k-node path must not blow the stack (iterative Tarjan) *)
+  let n = 100_000 in
+  let succ v = if v + 1 < n then [ v + 1 ] else [] in
+  let _, count = Scc.tarjan ~n ~succ in
+  check ci "all singleton" n count
+
+(* ---- dot ---- *)
+
+let test_dot_output () =
+  let r = Builders.ring ~unidirectional:true 3 in
+  let dot = Dot.to_dot ~label:"tiny" ~highlight:[ 0 ] r.topo in
+  check cb "digraph" true (String.length dot > 20);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  check cb "has label" true (contains "tiny" dot);
+  check cb "has highlight" true (contains "color=red" dot);
+  check cb "has edge" true (contains "n0 -> n1" dot)
+
+(* ---- paper networks ---- *)
+
+let test_figure1_structure () =
+  let net = Paper_nets.figure1 () in
+  check ci "ring length" 8 (Array.length net.ring_channels);
+  check ci "intents" 4 (List.length net.intents);
+  check cb "strongly connected" true (Topology.strongly_connected net.topo);
+  (* the paper's parameters: accesses 2/3/2/3, in-cycle spans 3/4/3/4 *)
+  let accesses = List.map (Paper_nets.access_channel_count net) net.intents in
+  check (Alcotest.list ci) "accesses" [ 2; 3; 2; 3 ] accesses;
+  let spans =
+    List.map (fun i -> List.length (Paper_nets.in_cycle_channels net i)) net.intents
+  in
+  check (Alcotest.list ci) "spans" [ 3; 4; 3; 4 ] spans;
+  (* all four messages start at Src and share cs *)
+  List.iter
+    (fun (i : Paper_nets.intent) ->
+      check ci "src" net.source i.i_src;
+      check cb "uses cs" true (List.mem net.cs i.i_path))
+    net.intents;
+  match Paper_nets.check_blocking_chain net with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_figure1_node_names () =
+  let net = Paper_nets.figure1 () in
+  (* the ring node naming of the paper: P1 D4 P2 D1 P3 P4 D2 D3 *)
+  let names = Array.map (Topology.node_name net.topo) net.ring_nodes in
+  check (Alcotest.array cs) "ring names"
+    [| "P1"; "D4"; "P2"; "D1"; "P3"; "P4"; "D2"; "D3" |] names
+
+let test_family_scales () =
+  List.iter
+    (fun p ->
+      let net = Paper_nets.family p in
+      check ci "ring 8p" (8 * p) (Array.length net.ring_channels);
+      let accesses = List.map (Paper_nets.access_channel_count net) net.intents in
+      check (Alcotest.list ci) "accesses" [ p + 1; p + 2; p + 1; p + 2 ] accesses;
+      match Paper_nets.check_blocking_chain net with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    [ 1; 2; 3; 4 ]
+
+let test_figure2_structure () =
+  let net = Paper_nets.figure2 () in
+  check ci "two messages" 2 (List.length net.intents);
+  check ci "ring 6" 6 (Array.length net.ring_channels);
+  match Paper_nets.check_blocking_chain net with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_figure3_all_build () =
+  List.iter
+    (fun case ->
+      let net = Paper_nets.figure3 case in
+      check cb "strongly connected" true (Topology.strongly_connected net.topo);
+      (* every intent's path is a connected chain ending at its destination *)
+      List.iter
+        (fun (i : Paper_nets.intent) ->
+          let rec walk here = function
+            | [] -> check ci "reaches dest" i.i_dst here
+            | c :: rest ->
+              check ci "chain" here (Topology.src net.topo c);
+              walk (Topology.dst net.topo c) rest
+          in
+          walk i.i_src i.i_path)
+        net.intents)
+    [ `A; `B; `C; `D; `E; `F ]
+
+let test_figure3_own_sources () =
+  let net = Paper_nets.figure3 `F in
+  let own = List.filter (fun (i : Paper_nets.intent) -> i.i_src <> net.source) net.intents in
+  check ci "one own-source message" 1 (List.length own);
+  List.iter
+    (fun (i : Paper_nets.intent) -> check cb "no cs" false (List.mem net.cs i.i_path))
+    own
+
+let test_paper_net_validation () =
+  let bad_entry =
+    {
+      Paper_nets.s_name = "bad";
+      s_ring_len = 6;
+      s_msgs =
+        [ { m_label = "M"; m_source = Paper_nets.Shared; m_access = 2; m_entry = 6; m_dist = 2 } ];
+    }
+  in
+  Alcotest.check_raises "entry range" (Invalid_argument "Paper_nets: entry out of range")
+    (fun () -> ignore (Paper_nets.build bad_entry));
+  let dup =
+    {
+      Paper_nets.s_name = "dup";
+      s_ring_len = 6;
+      s_msgs =
+        [
+          { m_label = "M"; m_source = Paper_nets.Shared; m_access = 2; m_entry = 0; m_dist = 2 };
+          { m_label = "M"; m_source = Paper_nets.Shared; m_access = 2; m_entry = 1; m_dist = 2 };
+        ];
+    }
+  in
+  Alcotest.check_raises "dup labels" (Invalid_argument "Paper_nets: duplicate message labels")
+    (fun () -> ignore (Paper_nets.build dup))
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "multigraph",
+        [
+          Alcotest.test_case "add nodes/channels" `Quick test_add_nodes_channels;
+          Alcotest.test_case "duplicate node" `Quick test_duplicate_node_rejected;
+          Alcotest.test_case "self loop" `Quick test_self_loop_rejected;
+          Alcotest.test_case "duplicate channel / vcs" `Quick test_duplicate_channel_rejected;
+          Alcotest.test_case "find_channel" `Quick test_find_channel;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "strong connectivity" `Quick test_strong_connectivity;
+          Alcotest.test_case "distance/shortest path" `Quick test_distance_and_paths;
+          Alcotest.test_case "unreachable" `Quick test_unreachable_distance;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "mesh counts" `Quick test_mesh_counts;
+          Alcotest.test_case "torus counts/vcs/k=2" `Quick test_torus_counts;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "coords roundtrip" `Quick test_coords_roundtrip;
+          Alcotest.test_case "unidirectional ring" `Quick test_ring_unidirectional;
+          Alcotest.test_case "complete/star" `Quick test_complete_and_star;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "components" `Quick test_scc_components;
+          Alcotest.test_case "acyclic" `Quick test_scc_acyclic;
+          Alcotest.test_case "deep graph no overflow" `Quick test_scc_deep_no_overflow;
+        ] );
+      ("dot", [ Alcotest.test_case "render" `Quick test_dot_output ]);
+      ( "paper_nets",
+        [
+          Alcotest.test_case "figure1 structure" `Quick test_figure1_structure;
+          Alcotest.test_case "figure1 node names" `Quick test_figure1_node_names;
+          Alcotest.test_case "family scales" `Quick test_family_scales;
+          Alcotest.test_case "figure2 structure" `Quick test_figure2_structure;
+          Alcotest.test_case "figure3 builds" `Quick test_figure3_all_build;
+          Alcotest.test_case "figure3f own source" `Quick test_figure3_own_sources;
+          Alcotest.test_case "spec validation" `Quick test_paper_net_validation;
+        ] );
+    ]
