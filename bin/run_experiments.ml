@@ -21,6 +21,7 @@ let known =
     ("exp-a", `A);
     ("exp-sw", `SW);
     ("exp-mc", `MC);
+    ("exp-fault", `Fault);
   ]
 
 let run_one ~quick ~max_p ppf = function
@@ -37,6 +38,7 @@ let run_one ~quick ~max_p ppf = function
   | `A -> Experiments.exp_a ~quick ppf
   | `SW -> Experiments.exp_sw ~quick ppf
   | `MC -> Experiments.exp_mc ~quick ppf
+  | `Fault -> Experiments.exp_fault ~quick ppf
 
 let main names quick max_p =
   let ppf = Format.std_formatter in
@@ -65,7 +67,8 @@ let main names quick max_p =
 
 let names_arg =
   let doc = "Experiments to run (default: all).  One of exp-f1, exp-t2, exp-corollaries, \
-             exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-mc." in
+             exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-mc, \
+             exp-fault." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let quick_arg =

@@ -3,7 +3,9 @@
    Examples:
      wormsim --topology mesh --dims 8x8 --routing xy --pattern uniform --rate 0.02
      wormsim --topology torus --dims 5x5 --routing ecube --pattern tornado --permutation
-     wormsim --topology ring --dims 6 --routing clockwise --permutation *)
+     wormsim --topology ring --dims 6 --routing clockwise --permutation
+     wormsim --topology figure1 --faults 'stall:s0>r0@3+20' --recovery
+     wormsim --topology mesh --dims 4x4 --faults random --recovery --retry-limit 3 *)
 
 open Cmdliner
 
@@ -11,6 +13,17 @@ type built = {
   coords : Builders.coords;
   routing : [ `Oblivious of Routing.t | `Adaptive of Adaptive.t ];
 }
+
+let paper_net = function
+  | "figure1" -> Some (Paper_nets.figure1 ())
+  | "figure2" -> Some (Paper_nets.figure2 ())
+  | "figure3a" -> Some (Paper_nets.figure3 `A)
+  | "figure3b" -> Some (Paper_nets.figure3 `B)
+  | "figure3c" -> Some (Paper_nets.figure3 `C)
+  | "figure3d" -> Some (Paper_nets.figure3 `D)
+  | "figure3e" -> Some (Paper_nets.figure3 `E)
+  | "figure3f" -> Some (Paper_nets.figure3 `F)
+  | _ -> None
 
 let build topology dims routing =
   let dims_list =
@@ -66,46 +79,117 @@ let pattern_of coords rng = function
   | "hotspot" -> Traffic.hotspot rng coords 0
   | p -> failwith ("unknown pattern: " ^ p)
 
-let main topology dims routing pattern rate length horizon permutation seed buffer =
-  try
-    let { coords; routing = algo } = build topology dims routing in
-    (match algo with
-    | `Oblivious rt -> (
-      match Routing.validate rt with
-      | Ok () -> ()
-      | Error e -> failwith ("routing invalid: " ^ e))
-    | `Adaptive ad -> (
-      match Adaptive.validate ad with
-      | Ok () -> ()
-      | Error e -> failwith ("adaptive routing invalid: " ^ e)));
-    let rng = Rng.create seed in
-    let pat = pattern_of coords rng pattern in
-    let sched =
-      if permutation then Traffic.permutation_schedule pat ~coords ~length
-      else Traffic.bernoulli_schedule rng pat ~coords ~rate ~length ~horizon
+(* --faults: "random" for a seeded random plan, otherwise the Fault.parse
+   format, e.g. "fail:a>b@10,stall:c>d@0+25,drop:m3@2" *)
+let fault_plan topo rng horizon = function
+  | "" -> Fault.empty
+  | "random" -> Fault.random ~link_failures:1 ~stalls:2 ~max_stall:20 ~horizon rng topo
+  | spec -> (
+    match Fault.parse topo spec with
+    | Ok plan -> plan
+    | Error e -> failwith ("bad --faults spec: " ^ e))
+
+(* Recovery policy from the CLI flags; when permanent failures are planned
+   and the routing is oblivious, recompute paths around them and re-certify
+   the degraded algorithm before handing it to the engine. *)
+let recovery_of faults recovery_on retry_limit watchdog algo =
+  if not recovery_on then None
+  else
+    let reroute =
+      match algo with
+      | `Adaptive _ -> None (* adaptive headers steer around down channels *)
+      | `Oblivious rt -> (
+        match Fault.failed_channels faults with
+        | [] -> None
+        | failed -> (
+          match Degrade.reroute ~quick:true ~failed rt with
+          | Error e ->
+            Format.printf "degraded routing unavailable: %s@." e;
+            None
+          | Ok d ->
+            Format.printf "%a@." Degrade.pp d;
+            if Degrade.certified d then Some d.Degrade.routing
+            else begin
+              Format.printf "uncertified degraded routing: retrying on original paths@.";
+              None
+            end))
     in
-    Printf.printf "topology=%s dims=%s routing=%s pattern=%s messages=%d\n" topology dims
-      routing pat.Traffic.name (List.length sched);
-    let config = { Engine.default_config with buffer_capacity = buffer } in
-    (match algo with
-    | `Oblivious rt ->
-      let report = Measure.run ~config rt sched in
-      Format.printf "%a@." Measure.pp report;
-      if report.Measure.deadlocked then exit 3
-    | `Adaptive ad -> (
-      match Adaptive_engine.run ~config ad sched with
-      | Adaptive_engine.All_delivered { finished_at; messages } ->
-        Format.printf "%d/%d delivered in %d cycles (adaptive)@." (List.length messages)
-          (List.length sched) finished_at
-      | o ->
-        Format.printf "%a@." (Adaptive_engine.pp_outcome coords.Builders.topo) o;
-        if Adaptive_engine.is_deadlock o then exit 3))
+    Some { Engine.default_recovery with retry_limit; watchdog; reroute }
+
+let run_oblivious topo rt sched config =
+  let out = Engine.run ~config rt sched in
+  Format.printf "%a@." (Engine.pp_outcome topo) out;
+  if Engine.is_deadlock out then exit 3
+
+let main topology dims routing pattern rate length horizon permutation seed buffer faults_spec
+    recovery_on retry_limit watchdog =
+  try
+    let rng = Rng.create seed in
+    match paper_net topology with
+    | Some net ->
+      (* the paper's CD networks replay their designated messages *)
+      let rt = Cd_algorithm.of_net net in
+      let sched =
+        List.map
+          (fun (it : Paper_nets.intent) ->
+            Schedule.message ~length it.i_label it.i_src it.i_dst)
+          net.Paper_nets.intents
+      in
+      let faults = fault_plan net.Paper_nets.topo rng horizon faults_spec in
+      let recovery =
+        recovery_of faults recovery_on retry_limit watchdog (`Oblivious rt)
+      in
+      Printf.printf "network=%s messages=%d\n" topology (List.length sched);
+      if not (Fault.is_empty faults) then
+        Format.printf "faults: %a@." (Fault.pp net.Paper_nets.topo) faults;
+      run_oblivious net.Paper_nets.topo rt sched
+        { Engine.default_config with buffer_capacity = buffer; faults; recovery }
+    | None ->
+      let { coords; routing = algo } = build topology dims routing in
+      (match algo with
+      | `Oblivious rt -> (
+        match Routing.validate rt with
+        | Ok () -> ()
+        | Error e -> failwith ("routing invalid: " ^ e))
+      | `Adaptive ad -> (
+        match Adaptive.validate ad with
+        | Ok () -> ()
+        | Error e -> failwith ("adaptive routing invalid: " ^ e)));
+      let pat = pattern_of coords rng pattern in
+      let sched =
+        if permutation then Traffic.permutation_schedule pat ~coords ~length
+        else Traffic.bernoulli_schedule rng pat ~coords ~rate ~length ~horizon
+      in
+      Printf.printf "topology=%s dims=%s routing=%s pattern=%s messages=%d\n" topology dims
+        routing pat.Traffic.name (List.length sched);
+      let faults = fault_plan coords.Builders.topo rng horizon faults_spec in
+      if not (Fault.is_empty faults) then
+        Format.printf "faults: %a@." (Fault.pp coords.Builders.topo) faults;
+      let recovery =
+        recovery_of faults recovery_on retry_limit watchdog algo
+      in
+      let config =
+        { Engine.default_config with buffer_capacity = buffer; faults; recovery }
+      in
+      (match algo with
+      | `Oblivious rt ->
+        let report = Measure.run ~config rt sched in
+        Format.printf "%a@." Measure.pp report;
+        if report.Measure.deadlocked then exit 3
+      | `Adaptive ad -> (
+        match Adaptive_engine.run ~config ad sched with
+        | Adaptive_engine.All_delivered { finished_at; messages } ->
+          Format.printf "%d/%d delivered in %d cycles (adaptive)@." (List.length messages)
+            (List.length sched) finished_at
+        | o ->
+          Format.printf "%a@." (Adaptive_engine.pp_outcome coords.Builders.topo) o;
+          if Adaptive_engine.is_deadlock o then exit 3))
   with Failure msg ->
     Printf.eprintf "wormsim: %s\n" msg;
     exit 2
 
 let topo_arg =
-  Arg.(value & opt string "mesh" & info [ "topology" ] ~docv:"T" ~doc:"mesh, torus, hypercube or ring")
+  Arg.(value & opt string "mesh" & info [ "topology" ] ~docv:"T" ~doc:"mesh, torus, hypercube, ring, or a paper network: figure1, figure2, figure3a..figure3f")
 
 let dims_arg =
   Arg.(value & opt string "8x8" & info [ "dims" ] ~docv:"DxD" ~doc:"dimensions, e.g. 8x8 (hypercube/ring take one number)")
@@ -128,16 +212,35 @@ let horizon_arg =
 let permutation_arg =
   Arg.(value & flag & info [ "permutation" ] ~doc:"one message per node at cycle 0 instead of Bernoulli traffic")
 
-let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (also seeds --faults random)")
 
 let buffer_arg =
   Arg.(value & opt int 1 & info [ "buffer" ] ~docv:"FLITS" ~doc:"flit buffer capacity per channel")
+
+let faults_arg =
+  Arg.(value & opt string "" & info [ "faults" ] ~docv:"SPEC"
+    ~doc:"fault plan: 'random' for a seeded plan, or comma-separated events \
+          'fail:SRC>DST[#VC]\\@T', 'stall:SRC>DST[#VC]\\@T+D', 'drop:LABEL\\@T'")
+
+let recovery_arg =
+  Arg.(value & flag & info [ "recovery" ]
+    ~doc:"enable watchdog abort-and-retry recovery; with permanent failures a \
+          re-certified degraded routing is used for retries")
+
+let retry_limit_arg =
+  Arg.(value & opt int Engine.default_recovery.Engine.retry_limit
+    & info [ "retry-limit" ] ~docv:"N" ~doc:"maximum aborts per message before it gives up")
+
+let watchdog_arg =
+  Arg.(value & opt int Engine.default_recovery.Engine.watchdog
+    & info [ "watchdog" ] ~docv:"CYCLES" ~doc:"cycles without progress before a message is aborted")
 
 let cmd =
   let doc = "simulate wormhole routing on a classic topology" in
   Cmd.v (Cmd.info "wormsim" ~doc)
     Term.(
       const main $ topo_arg $ dims_arg $ routing_arg $ pattern_arg $ rate_arg $ length_arg
-      $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg)
+      $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg $ faults_arg $ recovery_arg
+      $ retry_limit_arg $ watchdog_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -642,6 +642,154 @@ let exp_a ?(quick = false) ppf =
       (if delivered then "all delivered" else "failed") delivered;
   ]
 
+(* ---- Fault injection and recovery (robustness extension) ---- *)
+
+let exp_fault ?(quick = false) ppf =
+  header ppf "EXP-FR: fault injection and recovery (paper networks under faults)";
+  let recovery =
+    { Engine.default_recovery with watchdog = 32; retry_limit = 4; backoff = 8 }
+  in
+  let intents_schedule net =
+    List.map
+      (fun (it : Paper_nets.intent) -> Schedule.message ~length:4 it.i_label it.i_src it.i_dst)
+      net.Paper_nets.intents
+  in
+  (* one-line outcome summaries for the claims table *)
+  let brief = function
+    | Engine.All_delivered { finished_at; messages } ->
+      Printf.sprintf "all %d delivered by cycle %d" (List.length messages) finished_at
+    | Engine.Recovered { finished_at; stats; _ } ->
+      let count f = List.length (List.filter (fun s -> s.Engine.t_fate = f) stats) in
+      Printf.sprintf "recovered by cycle %d: %d delivered, %d dropped, %d gave up, %d retries"
+        finished_at (count Engine.Delivered) (count Engine.Dropped) (count Engine.Gave_up)
+        (List.fold_left (fun acc s -> acc + s.Engine.t_retries) 0 stats)
+    | Engine.Deadlock d -> Printf.sprintf "deadlock at cycle %d" d.Engine.d_cycle
+    | Engine.Cutoff { at; _ } -> Printf.sprintf "cutoff at cycle %d" at
+  in
+  (* 1. seeded random fault campaigns on the figure networks: recovery with
+     a retry cap must terminate every run, deterministically *)
+  let nets =
+    if quick then [ ("figure1", Paper_nets.figure1 ()) ]
+    else
+      [ ("figure1", Paper_nets.figure1 ()); ("figure2", Paper_nets.figure2 ());
+        ("figure3c", Paper_nets.figure3 `C); ("figure3f", Paper_nets.figure3 `F) ]
+  in
+  let campaign_rows =
+    List.map
+      (fun (name, net) ->
+        let rt = Cd_algorithm.of_net net in
+        let sched = intents_schedule net in
+        let rng = Rng.create 7 in
+        let faults =
+          Fault.random ~link_failures:1 ~stalls:2 ~max_stall:16 ~horizon:15 rng
+            net.Paper_nets.topo
+        in
+        let config = { Engine.default_config with faults; recovery = Some recovery } in
+        let out = Engine.run ~config rt sched in
+        let replay = Engine.run ~config rt sched in
+        Format.fprintf ppf "%s under %a:@\n  %a@\n" name (Fault.pp net.topo) faults
+          (Engine.pp_outcome net.topo) out;
+        let bounded =
+          match out with
+          | Engine.All_delivered _ -> true
+          | Engine.Recovered { stats; _ } ->
+            List.for_all
+              (fun (s : Engine.retry_stat) -> s.t_retries <= recovery.Engine.retry_limit + 1)
+              stats
+          | Engine.Deadlock _ | Engine.Cutoff _ -> false
+        in
+        row (Printf.sprintf "FR/%s" name)
+          "seeded faults + recovery terminate deterministically with bounded retries"
+          (brief out ^ if out = replay then "" else " [REPLAY DIVERGED]")
+          (bounded && out = replay))
+      nets
+  in
+  (* 2. recovery disabled: a permanent failure on a used channel blocks the
+     run permanently, reported exactly like a protocol deadlock.  Failing
+     the last hop of M1's path wedges M1 mid-network, holding channels the
+     other messages need. *)
+  let net = Paper_nets.figure1 () in
+  let rt = Cd_algorithm.of_net net in
+  let sched = intents_schedule net in
+  let victim_channel =
+    match net.Paper_nets.intents with
+    | it :: _ -> List.nth it.Paper_nets.i_path (List.length it.Paper_nets.i_path - 1)
+    | [] -> assert false
+  in
+  let kill = Fault.make [ Fault.Link_failure { channel = victim_channel; at = 0 } ] in
+  let out_off = Engine.run ~config:{ Engine.default_config with faults = kill } rt sched in
+  Format.fprintf ppf "figure1, recovery off, %s failed at 0:@\n  %a@\n"
+    (Topology.channel_name net.topo victim_channel)
+    (Engine.pp_outcome net.topo) out_off;
+  let off_row =
+    row "FR/no-recovery"
+      "with recovery disabled a permanent failure is reported as a deadlock"
+      (brief out_off) (Engine.is_deadlock out_off)
+  in
+  (* 3. same scenario with recovery but no reroute: the victim retries its
+     unusable path, exhausts the cap and gives up; the rest deliver *)
+  let out_cap =
+    Engine.run
+      ~config:{ Engine.default_config with faults = kill; recovery = Some recovery }
+      rt sched
+  in
+  Format.fprintf ppf "figure1, recovery on (no reroute):@\n  %a@\n"
+    (Engine.pp_outcome net.topo) out_cap;
+  let cap_row =
+    row "FR/retry-cap" "without a reroute the victim gives up after the retry cap"
+      (brief out_cap)
+      (match out_cap with
+      | Engine.Recovered { stats; _ } ->
+        List.exists
+          (fun (s : Engine.retry_stat) ->
+            s.t_fate = Engine.Gave_up && s.t_retries = recovery.Engine.retry_limit + 1)
+          stats
+      | _ -> false)
+  in
+  (* 4. graceful degradation on a regular substrate: fail one mesh channel,
+     re-certify the avoiding routing, and recover all traffic through it *)
+  let coords = Builders.mesh [ 4; 4 ] in
+  let mrt = Dimension_order.mesh coords in
+  let mtopo = coords.Builders.topo in
+  let failed = List.hd (Routing.path_exn mrt 0 15) in
+  let degrade_rows =
+    match Degrade.reroute ~quick ~failed:[ failed ] mrt with
+    | Error e ->
+      [ row "FR/degrade" "degraded mesh routing is re-certified deadlock-free"
+          ("reroute failed: " ^ e) false ]
+    | Ok d ->
+      Format.fprintf ppf "%a@\n" Degrade.pp d;
+      let sched =
+        [ Schedule.message ~length:4 "across" 0 15; Schedule.message ~length:4 "back" 15 0 ]
+      in
+      let config =
+        {
+          Engine.default_config with
+          faults = Fault.make [ Fault.Link_failure { channel = failed; at = 0 } ];
+          recovery = Some { recovery with reroute = Some d.Degrade.routing };
+        }
+      in
+      let out = Engine.run ~config mrt sched in
+      Format.fprintf ppf "4x4 mesh, %s failed, certified reroute:@\n  %a@\n"
+        (Topology.channel_name mtopo failed)
+        (Engine.pp_outcome mtopo) out;
+      let all_delivered_after_retry =
+        match out with
+        | Engine.Recovered { stats; _ } ->
+          List.for_all (fun (s : Engine.retry_stat) -> s.t_fate = Engine.Delivered) stats
+        | Engine.All_delivered _ -> true
+        | _ -> false
+      in
+      [
+        row "FR/degrade" "degraded mesh routing is re-certified deadlock-free"
+          (Format.asprintf "%a" Degrade.pp d)
+          (Degrade.certified d);
+        row "FR/reroute" "with a certified reroute every message survives the failure"
+          (brief out) all_delivered_after_retry;
+      ]
+  in
+  campaign_rows @ [ off_row; cap_row ] @ degrade_rows
+
 let all ?quick ppf =
   List.concat
     [
@@ -658,6 +806,7 @@ let all ?quick ppf =
       exp_a ?quick ppf;
       exp_sw ?quick ppf;
       exp_mc ?quick ppf;
+      exp_fault ?quick ppf;
     ]
 
 let summary_table rows =

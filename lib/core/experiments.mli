@@ -81,6 +81,12 @@ val exp_mc : ?quick:bool -> Format.formatter -> row list
     verdict; with the unbounded-delay adversary enabled, Figure 1 deadlocks,
     matching Section 6. *)
 
+val exp_fault : ?quick:bool -> Format.formatter -> row list
+(** Robustness extension: seeded fault campaigns on the figure networks
+    terminate deterministically with bounded retries under recovery; with
+    recovery off a permanent failure reports as a deadlock; a failed mesh
+    channel is routed around with a re-certified degraded algorithm. *)
+
 val all : ?quick:bool -> Format.formatter -> row list
 (** Run everything in order. *)
 

@@ -93,6 +93,74 @@ let iter_realized t k =
     done
   done
 
+let avoiding ?name ~failed base =
+  let topo = base.topo in
+  let name = match name with Some n -> n | None -> base.name ^ "+avoid" in
+  let nchan = Topology.num_channels topo in
+  let n = Topology.num_nodes topo in
+  let bad = Array.make nchan false in
+  List.iter
+    (fun c ->
+      if c < 0 || c >= nchan then invalid_arg "Routing.avoiding: channel out of range";
+      bad.(c) <- true)
+    failed;
+  (* all-pairs hop distances in the degraded network (failed channels cut) *)
+  let dist = Array.make_matrix n n max_int in
+  for s = 0 to n - 1 do
+    dist.(s).(s) <- 0;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun c ->
+          if not bad.(c) then begin
+            let v = Topology.dst topo c in
+            if dist.(s).(v) = max_int then begin
+              dist.(s).(v) <- dist.(s).(u) + 1;
+              Queue.add v q
+            end
+          end)
+        (Topology.out_channels topo u)
+    done
+  done;
+  (* does the base algorithm's continuation from [input] reach [dest]
+     without touching a failed channel?  Memoized per (input, dest). *)
+  let limit = (4 * nchan) + 4 in
+  let clean_memo = Hashtbl.create 256 in
+  let rec clean input dest steps =
+    if steps > limit then false
+    else
+      match Hashtbl.find_opt clean_memo (input, dest) with
+      | Some b -> b
+      | None ->
+        let here = current_node topo input in
+        let b =
+          match base.f input dest with
+          | None -> here = dest
+          | Some c ->
+            here <> dest && not bad.(c)
+            && Topology.src topo c = here
+            && clean (From c) dest (steps + 1)
+        in
+        Hashtbl.replace clean_memo (input, dest) b;
+        b
+  in
+  let f input dest =
+    let here = current_node topo input in
+    if here = dest then None
+    else if clean input dest 0 then base.f input dest
+    else if dist.(here).(dest) = max_int then None (* unreachable: let [path] report it *)
+    else
+      (* first outgoing channel (insertion order) on a shortest degraded
+         path -- deterministic, and each hop strictly shrinks the distance,
+         so mixing these detour steps with clean base suffixes terminates *)
+      Topology.out_channels topo here
+      |> List.find_opt (fun c ->
+             (not bad.(c)) && dist.(Topology.dst topo c).(dest) = dist.(here).(dest) - 1)
+  in
+  create ~name topo f
+
 let pp_path t ppf = function
   | [] -> Format.pp_print_string ppf "(empty)"
   | first :: _ as chans ->

@@ -49,5 +49,20 @@ val iter_realized : t -> (input -> Topology.node -> Topology.channel -> unit) ->
     enumeration the CDG builder and the property checkers consume.
     Decisions are deduplicated. *)
 
+val avoiding : ?name:string -> failed:Topology.channel list -> t -> t
+(** [avoiding ~failed base] is the graceful-degradation wrapper: an
+    oblivious routing function on the same topology that never uses a
+    channel in [failed].  Wherever the base algorithm's remaining path
+    already avoids every failed channel the wrapper follows it unchanged;
+    otherwise it detours along a deterministic shortest path of the
+    degraded network (failed channels removed) until a clean base suffix is
+    reached.  Pairs disconnected by the failures are reported by {!path} /
+    {!validate} as routing errors.
+
+    The result is a fresh algorithm: its deadlock-freedom is {e not}
+    inherited from [base].  Re-run the CDG / verification pipeline on it
+    (see [Degrade.reroute]) before trusting it.
+    @raise Invalid_argument when a failed channel id is out of range. *)
+
 val pp_path : t -> Format.formatter -> Topology.channel list -> unit
 (** Render a path as ["Src -cs-> N* -...-> D1"]. *)

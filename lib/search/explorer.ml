@@ -134,7 +134,7 @@ let explore ?(stop_at_first = true) rt sp =
     in
     let config =
       { Engine.buffer_capacity = buffer; arbitration; switching = Engine.Wormhole;
-        max_cycles = sp.max_cycles }
+        max_cycles = sp.max_cycles; faults = Fault.empty; recovery = None }
     in
     incr runs;
     match Engine.run ~config rt sched with
@@ -151,7 +151,7 @@ let explore ?(stop_at_first = true) rt sp =
       let w = { w_schedule = sched; w_config = config; w_info = info } in
       last_witness := Some w;
       if stop_at_first then raise (Found w)
-    | Engine.All_delivered _ | Engine.Cutoff _ -> ()
+    | Engine.All_delivered _ | Engine.Cutoff _ | Engine.Recovered _ -> ()
   in
   let gap_arr = Array.of_list sp.gaps in
   let explore_assignments order priority =

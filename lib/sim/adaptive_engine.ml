@@ -6,8 +6,15 @@ type outcome =
       wait_cycle : string list;
     }
   | Cutoff of { at : int }
+  | Recovered of {
+      finished_at : int;
+      messages : Engine.message_result list;
+      stats : Engine.retry_stat list;
+    }
 
-let is_deadlock = function Deadlock _ -> true | All_delivered _ | Cutoff _ -> false
+let is_deadlock = function
+  | Deadlock _ -> true
+  | All_delivered _ | Cutoff _ | Recovered _ -> false
 
 (* Message state: [taken] is the path the header has carved so far; flits
    occupy a suffix window of it, exactly as in the oblivious engine. *)
@@ -24,6 +31,11 @@ type msg_state = {
   mutable delivered_at : int option;
   mutable released_up_to : int;
   mutable wait_since : int;  (* cycle the header last started waiting *)
+  mutable attempt_at : int;  (* earliest cycle the source may (re)start requesting *)
+  mutable retries : int;
+  mutable gone : Engine.fate option;
+  mutable last_progress : int;
+  mutable progressed : bool;
 }
 
 let run ?(config = Engine.default_config) adaptive sched =
@@ -37,11 +49,17 @@ let run ?(config = Engine.default_config) adaptive sched =
       if m.ms_length < 1 then invalid_arg "Adaptive_engine.run: length < 1";
       if m.ms_src = m.ms_dst then invalid_arg "Adaptive_engine.run: source equals destination")
     sched;
+  (match config.Engine.recovery with
+  | None -> ()
+  | Some r ->
+    if r.Engine.watchdog < 1 then invalid_arg "Adaptive_engine.run: recovery watchdog < 1";
+    if r.Engine.retry_limit < 0 then invalid_arg "Adaptive_engine.run: recovery retry_limit < 0";
+    if r.Engine.backoff < 1 then invalid_arg "Adaptive_engine.run: recovery backoff < 1");
   let cap = config.Engine.buffer_capacity in
   let marr =
     Array.of_list
       (List.mapi
-         (fun idx spec ->
+         (fun idx (spec : Schedule.message_spec) ->
            {
              spec;
              idx;
@@ -55,11 +73,17 @@ let run ?(config = Engine.default_config) adaptive sched =
              delivered_at = None;
              released_up_to = 0;
              wait_since = max_int;
+             attempt_at = spec.ms_inject_at;
+             retries = 0;
+             gone = None;
+             last_progress = 0;
+             progressed = false;
            })
          sched)
   in
   let nmsg = Array.length marr in
   let nchan = Topology.num_channels topo in
+  let faults = Fault.compile ~nchan config.Engine.faults in
   let owner = Array.make nchan (-1) in
   let rank =
     match config.Engine.arbitration with
@@ -72,21 +96,32 @@ let run ?(config = Engine.default_config) adaptive sched =
         | Some i -> (i * nmsg) + m.idx
         | None -> (List.length order * nmsg) + m.idx)
   in
-  (* current option list of a message's header, [] when it cannot move *)
+  let active m = m.delivered_at = None && m.gone = None in
+  (* current option list of a message's header, [] when it cannot move.
+     Channels that are down (failed or stalled) are not offered: adaptive
+     routing steers around faults by construction. *)
   let current_options m t =
-    if m.delivered_at <> None || m.arrived then []
+    if (not (active m)) || m.arrived then []
     else if m.head = -1 then
-      if m.injected = 0 && t >= m.spec.Schedule.ms_inject_at then
+      if m.injected = 0 && t >= m.attempt_at then
         Adaptive.options adaptive (Routing.Inject m.spec.ms_src) m.spec.ms_dst
+        |> List.filter (fun c -> not (Fault.down faults c t))
       else []
     else begin
       let c = Vec.get m.taken m.head in
-      if Topology.dst topo c = m.spec.Schedule.ms_dst then []
-      else Adaptive.options adaptive (Routing.From c) m.spec.ms_dst
+      (* the header cannot leave a down channel, so don't let it claim the
+         next one either; with Fault.down a pure function of (channel, t)
+         an award therefore always implies the hop can complete *)
+      if Fault.down faults c t then []
+      else if Topology.dst topo c = m.spec.Schedule.ms_dst then []
+      else
+        Adaptive.options adaptive (Routing.From c) m.spec.ms_dst
+        |> List.filter (fun c -> not (Fault.down faults c t))
     end
   in
   let moved = ref false in
-  let delivered = ref 0 in
+  let finished = ref 0 in
+  let perturbed = ref false in
   let results () =
     Array.to_list
       (Array.map
@@ -98,11 +133,50 @@ let run ?(config = Engine.default_config) adaptive sched =
            })
          marr)
   in
+  let stats () =
+    Array.to_list
+      (Array.map
+         (fun m ->
+           {
+             Engine.t_label = m.spec.Schedule.ms_label;
+             t_retries = m.retries;
+             t_fate = (match m.gone with Some f -> f | None -> Engine.Delivered);
+           })
+         marr)
+  in
+  (* abort-and-drain: release the carved path, drop buffered flits, reset *)
+  let drain m =
+    Vec.iter (fun c -> if owner.(c) = m.idx then owner.(c) <- -1) m.taken;
+    Vec.clear m.taken;
+    Vec.clear m.occ;
+    m.head <- -1;
+    m.arrived <- false;
+    m.injected <- 0;
+    m.consumed <- 0;
+    m.released_up_to <- 0;
+    m.wait_since <- max_int
+  in
+  let give_up m fate =
+    drain m;
+    m.gone <- Some fate;
+    incr finished
+  in
+  let abort_retry m (r : Engine.recovery) t =
+    drain m;
+    m.retries <- m.retries + 1;
+    if m.retries > r.Engine.retry_limit then give_up m Engine.Gave_up
+    else begin
+      let delay = r.Engine.backoff * (1 lsl min (m.retries - 1) 20) in
+      m.attempt_at <- t + delay;
+      m.last_progress <- t + delay
+    end
+  in
   let cycle = ref 0 in
   let outcome = ref None in
   while !outcome = None do
     let t = !cycle in
     moved := false;
+    Array.iter (fun m -> m.progressed <- false) marr;
     (* -- allocation: headers claim their first free option; earlier
           waiters first, then priority -- *)
     let claimants =
@@ -130,13 +204,15 @@ let run ?(config = Engine.default_config) adaptive sched =
           Hashtbl.add awarded c m.idx;
           owner.(c) <- m.idx;
           m.wait_since <- max_int;
+          m.progressed <- true;
           moved := true
         | None -> ())
       claimants;
-    (* -- movement -- *)
+    (* -- movement: a down channel neither accepts nor emits flits -- *)
     Array.iter
       (fun m ->
-        if m.delivered_at = None then begin
+        if active m then begin
+          let ok i = not (Fault.down faults (Vec.get m.taken i) t) in
           let k = Vec.length m.taken in
           (* consumption at the destination *)
           if k > 0 then begin
@@ -146,10 +222,11 @@ let run ?(config = Engine.default_config) adaptive sched =
                 m.arrived <- true;
                 m.head <- k
               end;
-              if Vec.get m.occ (k - 1) > 0 then begin
+              if Vec.get m.occ (k - 1) > 0 && ok (k - 1) then begin
                 Vec.set m.occ (k - 1) (Vec.get m.occ (k - 1) - 1);
                 m.consumed <- m.consumed + 1;
                 moved := true;
+                m.progressed <- true;
                 if m.consumed = m.spec.Schedule.ms_length then m.delivered_at <- Some t
               end
             end
@@ -164,7 +241,8 @@ let run ?(config = Engine.default_config) adaptive sched =
               m.head <- 0;
               m.injected <- 1;
               m.injected_at <- Some t;
-              moved := true
+              moved := true;
+              m.progressed <- true
             end
             else begin
               Vec.push m.taken c;
@@ -172,25 +250,30 @@ let run ?(config = Engine.default_config) adaptive sched =
               Vec.set m.occ m.head (Vec.get m.occ m.head - 1);
               Vec.set m.occ (m.head + 1) 1;
               m.head <- m.head + 1;
-              moved := true
+              moved := true;
+              m.progressed <- true
             end
           | None -> ());
           (* data flits cascade *)
           let k = Vec.length m.taken in
           let front = min (m.head - 1) (k - 2) in
           for i = front downto 0 do
-            if Vec.get m.occ i > 0 && Vec.get m.occ (i + 1) < cap then begin
+            if Vec.get m.occ i > 0 && Vec.get m.occ (i + 1) < cap && ok i && ok (i + 1) then begin
               Vec.set m.occ i (Vec.get m.occ i - 1);
               Vec.set m.occ (i + 1) (Vec.get m.occ (i + 1) + 1);
-              moved := true
+              moved := true;
+              m.progressed <- true
             end
           done;
           (* injection of subsequent flits *)
-          if m.injected > 0 && m.injected < m.spec.Schedule.ms_length && Vec.get m.occ 0 < cap
+          if
+            m.injected > 0 && m.injected < m.spec.Schedule.ms_length
+            && Vec.get m.occ 0 < cap && ok 0
           then begin
             Vec.set m.occ 0 (Vec.get m.occ 0 + 1);
             m.injected <- m.injected + 1;
-            moved := true
+            moved := true;
+            m.progressed <- true
           end;
           (* release fully-traversed channels *)
           if m.injected = m.spec.Schedule.ms_length then begin
@@ -204,30 +287,63 @@ let run ?(config = Engine.default_config) adaptive sched =
               then begin
                 owner.(Vec.get m.taken !i) <- -1;
                 moved := true;
+                m.progressed <- true;
                 incr i
               end
               else continue := false
             done;
             m.released_up_to <- !i
           end;
-          if m.delivered_at = Some t then incr delivered
+          if m.delivered_at = Some t then incr finished
         end)
       marr;
+    (* -- faults and recovery: source-side drops, then the watchdog -- *)
+    if not (Fault.is_empty config.Engine.faults) then
+      Array.iter
+        (fun m ->
+          if active m && m.injected = 0 && Fault.dropped_now faults m.spec.Schedule.ms_label t
+          then begin
+            perturbed := true;
+            match config.Engine.recovery with
+            | None -> give_up m Engine.Dropped
+            | Some r -> abort_retry m r t
+          end)
+        marr;
+    (match config.Engine.recovery with
+    | None -> ()
+    | Some r ->
+      Array.iter
+        (fun m ->
+          if active m then begin
+            if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
+            else if t - m.last_progress >= r.Engine.watchdog then begin
+              perturbed := true;
+              abort_retry m r t
+            end
+          end)
+        marr);
     (* -- termination -- *)
-    if !delivered = nmsg then
-      outcome := Some (All_delivered { finished_at = t; messages = results () })
+    if !finished = nmsg then
+      outcome :=
+        Some
+          (if !perturbed then
+             Recovered { finished_at = t; messages = results (); stats = stats () }
+           else All_delivered { finished_at = t; messages = results () })
     else if t >= config.Engine.max_cycles then outcome := Some (Cutoff { at = t })
     else if not !moved then begin
       let future =
-        Array.exists
-          (fun m -> m.delivered_at = None && m.injected = 0 && t < m.spec.Schedule.ms_inject_at)
-          marr
+        Array.exists (fun m -> active m && m.injected = 0 && t < m.attempt_at) marr
+        (* with recovery on, any live message is future work: the watchdog
+           will eventually abort it *)
+        || (Option.is_some config.Engine.recovery && Array.exists active marr)
+        (* a stall window about to close or an unfired event can unblock *)
+        || Fault.change_after faults t
       in
       if not future then begin
         let blocked =
           Array.to_list marr
           |> List.filter_map (fun m ->
-                 if m.delivered_at <> None then None
+                 if not (active m) then None
                  else
                    match current_options m t with
                    | [] -> None
@@ -255,7 +371,7 @@ let run ?(config = Engine.default_config) adaptive sched =
           in
           let starts =
             Array.to_list marr
-            |> List.filter_map (fun m -> if m.delivered_at = None then Some m.idx else None)
+            |> List.filter_map (fun m -> if active m then Some m.idx else None)
           in
           let rec try_starts = function
             | [] -> []
@@ -278,6 +394,13 @@ let pp_outcome topo ppf = function
     Format.fprintf ppf "all %d messages delivered by cycle %d" (List.length messages)
       finished_at
   | Cutoff { at } -> Format.fprintf ppf "cutoff at cycle %d" at
+  | Recovered { finished_at; stats; _ } ->
+    let count f = List.length (List.filter (fun s -> s.Engine.t_fate = f) stats) in
+    let retries = List.fold_left (fun acc s -> acc + s.Engine.t_retries) 0 stats in
+    Format.fprintf ppf
+      "recovered by cycle %d: %d delivered, %d dropped, %d gave up (%d retries total)"
+      finished_at (count Engine.Delivered) (count Engine.Dropped) (count Engine.Gave_up)
+      retries
   | Deadlock { at_cycle; blocked; wait_cycle } ->
     Format.fprintf ppf "ADAPTIVE DEADLOCK at cycle %d; wait cycle: %s@\n" at_cycle
       (String.concat " -> " wait_cycle);

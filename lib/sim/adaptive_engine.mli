@@ -21,9 +21,21 @@ type outcome =
       wait_cycle : string list;
     }
   | Cutoff of { at : int }
+  | Recovered of {
+      finished_at : int;
+      messages : Engine.message_result list;
+      stats : Engine.retry_stat list;
+    }
+      (** faults or recovery actions perturbed the run, yet it terminated
+          with every message delivered, dropped, or abandoned (see
+          {!Engine.outcome}) *)
 
 val run : ?config:Engine.config -> Adaptive.t -> Schedule.t -> outcome
-(** @raise Invalid_argument on malformed schedules or configs. *)
+(** Faults and recovery follow {!Engine.run} semantics, with one adaptive
+    twist: headers simply never claim a down channel, so adaptive routing
+    steers around faults without a reroute function —
+    [config.recovery.reroute] is ignored here.
+    @raise Invalid_argument on malformed schedules or configs. *)
 
 val is_deadlock : outcome -> bool
 

@@ -2,15 +2,33 @@ type arbitration = Fifo | Priority of string list
 
 type switching = Wormhole | Store_and_forward
 
+type recovery = {
+  watchdog : int;
+  retry_limit : int;
+  backoff : int;
+  reroute : Routing.t option;
+}
+
+let default_recovery = { watchdog = 64; retry_limit = 4; backoff = 8; reroute = None }
+
 type config = {
   buffer_capacity : int;
   arbitration : arbitration;
   switching : switching;
   max_cycles : int;
+  faults : Fault.plan;
+  recovery : recovery option;
 }
 
 let default_config =
-  { buffer_capacity = 1; arbitration = Fifo; switching = Wormhole; max_cycles = 100_000 }
+  {
+    buffer_capacity = 1;
+    arbitration = Fifo;
+    switching = Wormhole;
+    max_cycles = 100_000;
+    faults = Fault.empty;
+    recovery = None;
+  }
 
 type message_result = {
   r_label : string;
@@ -31,10 +49,23 @@ type deadlock_info = {
   d_occupancy : (Topology.channel * string * int) list;
 }
 
+type fate = Delivered | Dropped | Gave_up
+
+type retry_stat = {
+  t_label : string;
+  t_retries : int;
+  t_fate : fate;
+}
+
 type outcome =
   | All_delivered of { finished_at : int; messages : message_result list }
   | Deadlock of deadlock_info
   | Cutoff of { at : int; messages : message_result list }
+  | Recovered of {
+      finished_at : int;
+      messages : message_result list;
+      stats : retry_stat list;
+    }
 
 type snapshot = {
   s_cycle : int;
@@ -43,16 +74,19 @@ type snapshot = {
   s_moved : bool;
 }
 
-let is_deadlock = function Deadlock _ -> true | All_delivered _ | Cutoff _ -> false
+let is_deadlock = function
+  | Deadlock _ -> true
+  | All_delivered _ | Cutoff _ | Recovered _ -> false
 
 (* Per-message mutable state.  [head] is the path index of the channel whose
    queue contains the header flit; -1 before injection, [path length] once
-   the header has been consumed at the destination. *)
+   the header has been consumed at the destination.  [path] and [occ] are
+   replaced wholesale when a recovery reroute changes the message's path. *)
 type msg_state = {
   spec : Schedule.message_spec;
   idx : int;  (* schedule position, used for deterministic tie-breaks *)
-  path : Topology.channel array;
-  occ : int array;  (* flits currently buffered at each path position *)
+  mutable path : Topology.channel array;
+  mutable occ : int array;  (* flits currently buffered at each path position *)
   mutable head : int;
   mutable injected : int;
   mutable consumed : int;
@@ -61,6 +95,12 @@ type msg_state = {
   mutable injected_at : int option;
   mutable delivered_at : int option;
   mutable released_up_to : int;  (* path positions < this have been released *)
+  mutable attempt_at : int;  (* earliest cycle the source may (re)start requesting *)
+  mutable retries : int;  (* aborts so far *)
+  mutable gone : fate option;  (* [Some Dropped | Some Gave_up] once abandoned *)
+  mutable last_progress : int;  (* watchdog reference cycle *)
+  mutable progressed : bool;  (* this message advanced during the current cycle *)
+  mutable waiting_for : int;  (* channel with a live wait_since entry; -1 if none *)
 }
 
 let hold_for m c =
@@ -69,6 +109,16 @@ let hold_for m c =
 let run ?(config = default_config) ?probe rt sched =
   if config.buffer_capacity < 1 then invalid_arg "Engine.run: buffer_capacity < 1";
   if config.max_cycles < 1 then invalid_arg "Engine.run: max_cycles < 1";
+  (match config.recovery with
+  | None -> ()
+  | Some r ->
+    if r.watchdog < 1 then invalid_arg "Engine.run: recovery watchdog < 1";
+    if r.retry_limit < 0 then invalid_arg "Engine.run: recovery retry_limit < 0";
+    if r.backoff < 1 then invalid_arg "Engine.run: recovery backoff < 1";
+    (match r.reroute with
+    | Some rt' when Routing.topology rt' != Routing.topology rt ->
+      invalid_arg "Engine.run: recovery reroute built on a different topology"
+    | Some _ | None -> ()));
   (match Schedule.validate rt sched with
   | Ok () -> ()
   | Error e -> invalid_arg ("Engine.run: " ^ e));
@@ -82,6 +132,7 @@ let run ?(config = default_config) ?probe rt sched =
   | Wormhole -> ());
   let topo = Routing.topology rt in
   let nchan = Topology.num_channels topo in
+  let faults = Fault.compile ~nchan config.faults in
   let cap = config.buffer_capacity in
   let msgs =
     List.mapi
@@ -100,6 +151,12 @@ let run ?(config = default_config) ?probe rt sched =
           injected_at = None;
           delivered_at = None;
           released_up_to = 0;
+          attempt_at = spec.ms_inject_at;
+          retries = 0;
+          gone = None;
+          last_progress = 0;
+          progressed = false;
+          waiting_for = -1;
         })
       sched
   in
@@ -120,7 +177,9 @@ let run ?(config = default_config) ?probe rt sched =
         | None -> (List.length order * nmsg) + m.idx)
   in
   let moved = ref false in
-  let delivered = ref 0 in
+  let finished = ref 0 in
+  (* any fault fired or recovery action taken: the run reports [Recovered] *)
+  let perturbed = ref false in
   let results () =
     Array.to_list
       (Array.map
@@ -129,6 +188,18 @@ let run ?(config = default_config) ?probe rt sched =
              r_delivered_at = m.delivered_at })
          marr)
   in
+  let stats () =
+    Array.to_list
+      (Array.map
+         (fun m ->
+           {
+             t_label = m.spec.ms_label;
+             t_retries = m.retries;
+             t_fate = (match m.gone with Some f -> f | None -> Delivered);
+           })
+         marr)
+  in
+  let active m = m.delivered_at = None && m.gone = None in
   (* The channel a message is currently waiting for, if it is blocked on
      channel acquisition. *)
   let assembled m =
@@ -138,7 +209,7 @@ let run ?(config = default_config) ?probe rt sched =
     | Store_and_forward -> m.head >= 0 && m.occ.(m.head) = m.spec.Schedule.ms_length
   in
   let wanted m =
-    if m.delivered_at <> None then None
+    if not (active m) then None
     else if m.head = -1 then Some m.path.(0)
     else if m.head < Array.length m.path - 1 && m.hold = 0 && assembled m then
       Some m.path.(m.head + 1)
@@ -149,20 +220,79 @@ let run ?(config = default_config) ?probe rt sched =
     m.hold <- h;
     m.hold_fresh <- h > 0
   in
+  (* abort-and-drain: release every held channel, drop buffered flits, and
+     return the message to its pre-injection state *)
+  let drain m =
+    Array.iter (fun c -> if owner.(c) = m.idx then owner.(c) <- -1) m.path;
+    if m.waiting_for >= 0 then begin
+      Hashtbl.remove wait_since (m.waiting_for, m.idx);
+      m.waiting_for <- -1
+    end;
+    Array.fill m.occ 0 (Array.length m.occ) 0;
+    m.head <- -1;
+    m.injected <- 0;
+    m.consumed <- 0;
+    m.hold <- 0;
+    m.hold_fresh <- false;
+    m.released_up_to <- 0
+  in
+  let give_up m fate =
+    drain m;
+    m.gone <- Some fate;
+    incr finished
+  in
+  let abort_retry m (r : recovery) t =
+    drain m;
+    m.retries <- m.retries + 1;
+    if m.retries > r.retry_limit then give_up m Gave_up
+    else begin
+      (match r.reroute with
+      | None -> ()
+      | Some rt' -> (
+        match Routing.path rt' m.spec.Schedule.ms_src m.spec.Schedule.ms_dst with
+        | Ok p ->
+          m.path <- Array.of_list p;
+          m.occ <- Array.make (Array.length m.path) 0
+        | Error _ ->
+          (* the degraded network cannot deliver this pair at all *)
+          give_up m Gave_up));
+      if m.gone = None then begin
+        let delay = r.backoff * (1 lsl min (m.retries - 1) 20) in
+        m.attempt_at <- t + delay;
+        m.last_progress <- t + delay
+      end
+    end
+  in
   let cycle = ref 0 in
   let outcome = ref None in
   while !outcome = None do
     let t = !cycle in
     moved := false;
-    (* -- arbitration: register requests, then award each free channel -- *)
+    Array.iter (fun m -> m.progressed <- false) marr;
+    (* -- arbitration: register requests, then award each free channel.
+          A message's wait_since entry follows the channel it currently
+          wants: when the want changes (progress, hold expiry, abort,
+          reroute) the stale entry is dropped so seniority cannot leak
+          onto a channel the message no longer requests. -- *)
+    let eligible m = m.head >= 0 || (m.injected = 0 && t >= m.attempt_at) in
     let requested = Hashtbl.create 8 in
     Array.iter
       (fun m ->
         match wanted m with
-        | Some c when m.head >= 0 || (m.injected = 0 && t >= m.spec.ms_inject_at) ->
-          if not (Hashtbl.mem wait_since (c, m.idx)) then Hashtbl.add wait_since (c, m.idx) t;
-          Hashtbl.replace requested c ()
-        | Some _ | None -> ())
+        | Some c when eligible m ->
+          if m.waiting_for <> c then begin
+            if m.waiting_for >= 0 then Hashtbl.remove wait_since (m.waiting_for, m.idx);
+            m.waiting_for <- c;
+            Hashtbl.replace wait_since (c, m.idx) t
+          end;
+          (* a down channel cannot be acquired, but the waiter keeps its
+             seniority for when the stall clears *)
+          if not (Fault.down faults c t) then Hashtbl.replace requested c ()
+        | Some _ | None ->
+          if m.waiting_for >= 0 then begin
+            Hashtbl.remove wait_since (m.waiting_for, m.idx);
+            m.waiting_for <- -1
+          end)
       marr;
     Hashtbl.iter
       (fun c () ->
@@ -171,8 +301,7 @@ let run ?(config = default_config) ?probe rt sched =
           Array.iter
             (fun m ->
               match wanted m with
-              | Some c' when c' = c && (m.head >= 0 || (m.injected = 0 && t >= m.spec.ms_inject_at))
-                -> (
+              | Some c' when c' = c && eligible m -> (
                 let since =
                   match Hashtbl.find_opt wait_since (c, m.idx) with Some s -> s | None -> t
                 in
@@ -186,60 +315,73 @@ let run ?(config = default_config) ?probe rt sched =
           | Some (_, m) ->
             owner.(c) <- m.idx;
             Hashtbl.remove wait_since (c, m.idx);
+            m.waiting_for <- -1;
+            m.progressed <- true;
             moved := true
           | None -> ()
         end)
       requested;
     (* -- movement: per message, sweep from the front so freed slots are
-          visible to the flits behind (wormhole pipelining) -- *)
+          visible to the flits behind (wormhole pipelining).  A down channel
+          (failed or stalled) neither accepts nor emits flits. -- *)
     Array.iter
       (fun m ->
         let k = Array.length m.path in
-        if m.delivered_at = None then begin
+        let ok i = not (Fault.down faults m.path.(i) t) in
+        if active m then begin
           (* consumption at the destination *)
-          if (m.head = k || (m.head = k - 1 && m.hold = 0)) && m.occ.(k - 1) > 0 then begin
+          if
+            (m.head = k || (m.head = k - 1 && m.hold = 0))
+            && m.occ.(k - 1) > 0 && ok (k - 1)
+          then begin
             m.occ.(k - 1) <- m.occ.(k - 1) - 1;
             m.consumed <- m.consumed + 1;
             if m.head = k - 1 then m.head <- k;
             moved := true;
+            m.progressed <- true;
             if m.consumed = m.spec.ms_length then m.delivered_at <- Some t
           end;
           (* header hop into an acquired channel *)
           if
             m.head >= 0 && m.head < k - 1 && m.hold = 0
             && owner.(m.path.(m.head + 1)) = m.idx
+            && ok m.head && ok (m.head + 1)
           then begin
             m.occ.(m.head) <- m.occ.(m.head) - 1;
             m.occ.(m.head + 1) <- m.occ.(m.head + 1) + 1;
             m.head <- m.head + 1;
             set_hold m m.path.(m.head);
-            moved := true
+            moved := true;
+            m.progressed <- true
           end;
           (* data flits cascade toward the header *)
           let front = min (m.head - 1) (k - 2) in
           for i = front downto 0 do
-            if m.occ.(i) > 0 && m.occ.(i + 1) < cap then begin
+            if m.occ.(i) > 0 && m.occ.(i + 1) < cap && ok i && ok (i + 1) then begin
               m.occ.(i) <- m.occ.(i) - 1;
               m.occ.(i + 1) <- m.occ.(i + 1) + 1;
-              moved := true
+              moved := true;
+              m.progressed <- true
             end
           done;
           (* injection of the next flit at the source *)
           if m.injected < m.spec.ms_length then begin
             if m.injected = 0 then begin
-              if owner.(m.path.(0)) = m.idx && m.head = -1 then begin
+              if owner.(m.path.(0)) = m.idx && m.head = -1 && ok 0 then begin
                 m.occ.(0) <- 1;
                 m.injected <- 1;
                 m.head <- 0;
                 m.injected_at <- Some t;
                 set_hold m m.path.(0);
-                moved := true
+                moved := true;
+                m.progressed <- true
               end
             end
-            else if m.occ.(0) < cap && owner.(m.path.(0)) = m.idx then begin
+            else if m.occ.(0) < cap && owner.(m.path.(0)) = m.idx && ok 0 then begin
               m.occ.(0) <- m.occ.(0) + 1;
               m.injected <- m.injected + 1;
-              moved := true
+              moved := true;
+              m.progressed <- true
             end
           end;
           (* release: channels the whole message has passed through *)
@@ -251,16 +393,18 @@ let run ?(config = default_config) ?probe rt sched =
               then begin
                 owner.(m.path.(!i)) <- -1;
                 moved := true;
+                m.progressed <- true;
                 incr i
               end
               else continue := false
             done;
             m.released_up_to <- !i
           end;
-          if m.delivered_at = Some t then incr delivered;
+          if m.delivered_at = Some t then incr finished;
           (* hold countdown (skip the cycle the hold was set); expiry is
              progress: the header will act next cycle *)
           if m.hold > 0 then begin
+            m.progressed <- true;
             if m.hold_fresh then m.hold_fresh <- false
             else begin
               m.hold <- m.hold - 1;
@@ -269,6 +413,31 @@ let run ?(config = default_config) ?probe rt sched =
           end
         end)
       marr;
+    (* -- faults and recovery: source-side drops, then the watchdog -- *)
+    if not (Fault.is_empty config.faults) then
+      Array.iter
+        (fun m ->
+          if active m && m.injected = 0 && Fault.dropped_now faults m.spec.Schedule.ms_label t
+          then begin
+            perturbed := true;
+            match config.recovery with
+            | None -> give_up m Dropped
+            | Some r -> abort_retry m r t
+          end)
+        marr;
+    (match config.recovery with
+    | None -> ()
+    | Some r ->
+      Array.iter
+        (fun m ->
+          if active m then begin
+            if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
+            else if t - m.last_progress >= r.watchdog then begin
+              perturbed := true;
+              abort_retry m r t
+            end
+          end)
+        marr);
     (* -- end of cycle: probe and termination checks -- *)
     (match probe with
     | None -> ()
@@ -298,15 +467,22 @@ let run ?(config = default_config) ?probe rt sched =
                  | Some _ | None -> None)
       in
       f { s_cycle = t; s_occupancy = occupancy; s_waiting = waiting; s_moved = !moved });
-    if !delivered = nmsg then outcome := Some (All_delivered { finished_at = t; messages = results () })
+    if !finished = nmsg then
+      outcome :=
+        Some
+          (if !perturbed then Recovered { finished_at = t; messages = results (); stats = stats () }
+           else All_delivered { finished_at = t; messages = results () })
     else if t >= config.max_cycles then outcome := Some (Cutoff { at = t; messages = results () })
     else if not !moved then begin
       let future =
         Array.exists
-          (fun m ->
-            m.delivered_at = None
-            && ((m.injected = 0 && t < m.spec.ms_inject_at) || m.hold > 0))
+          (fun m -> active m && ((m.injected = 0 && t < m.attempt_at) || m.hold > 0))
           marr
+        (* with recovery on, any live message is future work: the watchdog
+           will eventually abort it, so nothing is permanently blocked *)
+        || (Option.is_some config.recovery && Array.exists active marr)
+        (* a stall window about to close or an unfired event can unblock *)
+        || Fault.change_after faults t
       in
       if not future then begin
         (* permanently blocked: build the witness *)
@@ -377,11 +553,29 @@ let run ?(config = default_config) ?probe rt sched =
   done;
   match !outcome with Some o -> o | None -> assert false
 
+let pp_fate ppf = function
+  | Delivered -> Format.pp_print_string ppf "delivered"
+  | Dropped -> Format.pp_print_string ppf "dropped"
+  | Gave_up -> Format.pp_print_string ppf "gave up"
+
 let pp_outcome topo ppf = function
   | All_delivered { finished_at; messages } ->
     Format.fprintf ppf "all %d messages delivered by cycle %d" (List.length messages)
       finished_at
   | Cutoff { at; _ } -> Format.fprintf ppf "cutoff at cycle %d (still moving)" at
+  | Recovered { finished_at; stats; _ } ->
+    let count f = List.length (List.filter (fun s -> s.t_fate = f) stats) in
+    let retries = List.fold_left (fun acc s -> acc + s.t_retries) 0 stats in
+    Format.fprintf ppf
+      "recovered by cycle %d: %d delivered, %d dropped, %d gave up (%d retries total)"
+      finished_at (count Delivered) (count Dropped) (count Gave_up) retries;
+    List.iter
+      (fun s ->
+        if s.t_retries > 0 || s.t_fate <> Delivered then
+          Format.fprintf ppf "@\n  %s: %a after %d retr%s" s.t_label pp_fate s.t_fate
+            s.t_retries
+            (if s.t_retries = 1 then "y" else "ies"))
+      stats
   | Deadlock d ->
     Format.fprintf ppf "DEADLOCK at cycle %d; wait cycle: %s@\n" d.d_cycle
       (String.concat " -> " d.d_wait_cycle);

@@ -11,7 +11,8 @@
     - flits advance at most one hop per cycle; the header acquires channels,
       data flits follow the header's path (wormhole switching);
     - a header that cannot proceed keeps all channels the message occupies
-      (no abort/recovery);
+      (no abort/recovery -- unless an explicit {!recovery} policy is
+      configured, which is an extension beyond the paper's model);
     - the destination consumes one flit per cycle once the header arrives
       (assumption 2);
     - arbitration among simultaneous requests for the same channel is
@@ -41,6 +42,26 @@ type switching =
           its current channel (requires [buffer_capacity] at least the
           longest message); the classic pre-wormhole discipline *)
 
+type recovery = {
+  watchdog : int;
+      (** cycles a message may go without progress (no flit moved, no
+          channel acquired) before it is presumed deadlocked or lost and
+          aborted; >= 1 *)
+  retry_limit : int;
+      (** maximum aborts per message; one more abort abandons it; >= 0 *)
+  backoff : int;
+      (** re-injection delay after the first abort; doubles per retry
+          (exponential backoff); >= 1 *)
+  reroute : Routing.t option;
+      (** routing used to recompute an aborted message's path, typically a
+          {!Routing.avoiding} wrapper around the failed channels that the
+          caller has re-certified (see [Degrade.reroute]); [None] retries
+          on the original path *)
+}
+
+val default_recovery : recovery
+(** watchdog 64, retry_limit 4, backoff 8, no reroute. *)
+
 type config = {
   buffer_capacity : int;  (** flits per channel queue; >= 1 *)
   arbitration : arbitration;
@@ -50,10 +71,16 @@ type config = {
           queue, releasing upstream channels); intermediate capacities are
           the paper's "buffered wormhole" *)
   max_cycles : int;  (** safety cutoff; runs are expected to finish earlier *)
+  faults : Fault.plan;  (** injected failures/stalls/drops; default none *)
+  recovery : recovery option;
+      (** [None] preserves the paper's model exactly: a blocked message
+          holds its channels forever and deadlocks are reported with a
+          witness.  [Some r] enables watchdog abort-and-drain with
+          re-injection. *)
 }
 
 val default_config : config
-(** capacity 1, FIFO, wormhole, 100_000 cycles. *)
+(** capacity 1, FIFO, wormhole, 100_000 cycles, no faults, no recovery. *)
 
 type message_result = {
   r_label : string;
@@ -75,11 +102,34 @@ type deadlock_info = {
       (** channel, owning message, buffered flit count *)
 }
 
+type fate =
+  | Delivered  (** reached its destination (possibly after retries) *)
+  | Dropped  (** killed at the source by a {!Fault.Message_drop} with recovery off *)
+  | Gave_up
+      (** abandoned: retry cap exhausted, or no route around the failed
+          channels exists *)
+
+type retry_stat = {
+  t_label : string;
+  t_retries : int;  (** aborts (watchdog or drop) this message went through *)
+  t_fate : fate;
+}
+
 type outcome =
   | All_delivered of { finished_at : int; messages : message_result list }
   | Deadlock of deadlock_info
   | Cutoff of { at : int; messages : message_result list }
       (** [max_cycles] reached with traffic still moving (no deadlock) *)
+  | Recovered of {
+      finished_at : int;
+      messages : message_result list;
+      stats : retry_stat list;
+    }
+      (** the run was perturbed by faults or recovery actions (aborts,
+          drops, retries) yet terminated: every message was delivered,
+          dropped, or abandoned within its retry budget.  [All_delivered]
+          is still returned when faults/recovery were configured but never
+          fired. *)
 
 type snapshot = {
   s_cycle : int;
@@ -93,11 +143,24 @@ type snapshot = {
     wait-for-graph analysis (Dally-Aoki), tracing, invariant checking. *)
 
 val run : ?config:config -> ?probe:(snapshot -> unit) -> Routing.t -> Schedule.t -> outcome
-(** Simulate until every message is delivered, the network is permanently
-    blocked, or the cycle cutoff fires.
+(** Simulate until every message is delivered (or, under faults/recovery,
+    dropped or abandoned), the network is permanently blocked, or the cycle
+    cutoff fires.
+
+    Fault semantics: a channel that is down ({!Fault.down}) accepts no new
+    acquisition and moves no flits in or out; a permanently failed channel
+    therefore wedges any message still holding it until the watchdog aborts
+    it.  Aborting releases and drains every channel the message holds, then
+    re-injects it after exponential backoff -- along [recovery.reroute] if
+    provided -- up to [retry_limit] times.  With [recovery = None] fault-
+    blocked traffic is reported as [Deadlock] (permanently blocked), exactly
+    like a protocol deadlock, and existing witnesses are unchanged.
+
     @raise Invalid_argument when {!Schedule.validate} rejects the schedule
-    or the config is malformed. *)
+    or the config is malformed (including a [recovery.reroute] built on a
+    different topology). *)
 
 val is_deadlock : outcome -> bool
 
+val pp_fate : Format.formatter -> fate -> unit
 val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit

@@ -3,6 +3,8 @@ type report = {
   delivered : int;
   finished_at : int;
   deadlocked : bool;
+  recovered : bool;
+  retries : int;
   avg_latency : float;
   p95_latency : float;
   max_latency : float;
@@ -26,21 +28,29 @@ let run ?config rt sched =
           Stats.add stats (float_of_int (fin - spec.Schedule.ms_inject_at + 1)))
       results
   in
-  let finished_at, deadlocked =
+  let finished_at, deadlocked, recovered, retries =
     match outcome with
     | Engine.All_delivered { finished_at; messages } ->
       collect messages;
-      (finished_at, false)
+      (finished_at, false, false, 0)
     | Engine.Cutoff { at; messages } ->
       collect messages;
-      (at, false)
-    | Engine.Deadlock d -> (d.Engine.d_cycle, true)
+      (at, false, false, 0)
+    | Engine.Deadlock d -> (d.Engine.d_cycle, true, false, 0)
+    | Engine.Recovered { finished_at; messages; stats = rstats } ->
+      collect messages;
+      ( finished_at,
+        false,
+        true,
+        List.fold_left (fun acc (s : Engine.retry_stat) -> acc + s.t_retries) 0 rstats )
   in
   {
     total = List.length sched;
     delivered = Stats.count stats;
     finished_at;
     deadlocked;
+    recovered;
+    retries;
     avg_latency = Stats.mean stats;
     p95_latency = Stats.percentile stats 95.0;
     max_latency = (if Stats.count stats = 0 then 0.0 else Stats.max_value stats);
@@ -53,5 +63,7 @@ let pp ppf r =
     "%d/%d delivered%s in %d cycles; latency avg %.1f p95 %.1f max %.0f; throughput %.3f \
      flits/cycle"
     r.delivered r.total
-    (if r.deadlocked then " (DEADLOCK)" else "")
+    (if r.deadlocked then " (DEADLOCK)"
+     else if r.recovered then Printf.sprintf " (recovered, %d retries)" r.retries
+     else "")
     r.finished_at r.avg_latency r.p95_latency r.max_latency r.throughput

@@ -5,6 +5,8 @@ type report = {
   delivered : int;
   finished_at : int;  (** last simulated cycle *)
   deadlocked : bool;
+  recovered : bool;  (** run was perturbed by faults/recovery yet terminated *)
+  retries : int;  (** total aborts across all messages (0 unless recovered) *)
   avg_latency : float;  (** injection-request to tail-consumption, cycles *)
   p95_latency : float;
   max_latency : float;

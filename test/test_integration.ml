@@ -95,6 +95,7 @@ let test_exp_f1 () = all_ok "exp-f1" (Experiments.exp_f1 ~quick:true null_ppf)
 let test_exp_t5 () = all_ok "exp-t5" (Experiments.exp_t5 ~quick:true null_ppf)
 let test_exp_g () = all_ok "exp-g" (Experiments.exp_g ~quick:true ~max_p:1 null_ppf)
 let test_exp_corollaries () = all_ok "exp-c" (Experiments.exp_corollaries ~quick:true null_ppf)
+let test_exp_fault () = all_ok "exp-fr" (Experiments.exp_fault ~quick:true null_ppf)
 
 let test_summary_table () =
   let rows = Experiments.exp_t2 ~quick:true null_ppf in
@@ -124,6 +125,7 @@ let () =
           Alcotest.test_case "exp-t5" `Slow test_exp_t5;
           Alcotest.test_case "exp-g" `Slow test_exp_g;
           Alcotest.test_case "exp-corollaries" `Slow test_exp_corollaries;
+          Alcotest.test_case "exp-fault" `Quick test_exp_fault;
           Alcotest.test_case "summary table" `Quick test_summary_table;
         ] );
     ]

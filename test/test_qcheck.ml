@@ -198,7 +198,7 @@ let prop_acyclic_never_deadlocks =
             | Some i, Some d -> d >= i
             | _ -> false)
           messages
-      | Engine.Deadlock _ | Engine.Cutoff _ -> false)
+      | Engine.Deadlock _ | Engine.Cutoff _ | Engine.Recovered _ -> false)
 
 let prop_sim_deterministic =
   QCheck.Test.make ~name:"simulation replays identically" ~count:(count 50)
@@ -215,7 +215,7 @@ let prop_ring_outcomes_wellformed =
     (fun sched ->
       match Engine.run ring5_rt sched with
       | Engine.All_delivered _ -> true
-      | Engine.Cutoff _ -> false
+      | Engine.Cutoff _ | Engine.Recovered _ -> false
       | Engine.Deadlock d ->
         d.Engine.d_wait_cycle <> []
         && List.for_all
@@ -235,6 +235,68 @@ let prop_buffer_capacity_preserves_delivery =
       match (run 1, run 3) with
       | Some t1, Some t3 -> t3 <= t1 (* more buffering can only help or tie *)
       | _ -> false)
+
+(* ---- fault injection and recovery ---- *)
+
+let fault_params_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* seed = 0 -- 100_000 in
+      let* failures = 0 -- 2 in
+      let* stalls = 0 -- 3 in
+      let* drop = bool in
+      return (seed, failures, stalls, drop))
+    ~print:(fun (seed, failures, stalls, drop) ->
+      Printf.sprintf "seed=%d failures=%d stalls=%d drop=%b" seed failures stalls drop)
+
+let retry_limit = 3
+
+let recovery_config faults =
+  {
+    Engine.default_config with
+    faults;
+    recovery = Some { Engine.default_recovery with watchdog = 16; retry_limit; backoff = 4 };
+  }
+
+let random_faults coords sched (seed, failures, stalls, drop) =
+  let rng = Rng.create seed in
+  let drops =
+    if drop then
+      match sched with [] -> [] | (m : Schedule.message_spec) :: _ -> [ m.ms_label ]
+    else []
+  in
+  Fault.random ~link_failures:failures ~stalls ~max_stall:12 ~drops ~horizon:60 rng
+    coords.Builders.topo
+
+(* the satellite property: recovery with a retry cap can never hang -- every
+   run ends delivered, cut off, or as a bounded-retries recovery report *)
+let prop_recovery_terminates coords rt name =
+  QCheck.Test.make ~name ~count:(count 60)
+    QCheck.(pair (schedule_gen coords) fault_params_gen)
+    (fun (sched, params) ->
+      let config = recovery_config (random_faults coords sched params) in
+      match Engine.run ~config rt sched with
+      | Engine.All_delivered _ | Engine.Cutoff _ -> true
+      | Engine.Deadlock _ -> false (* recovery must preempt any permanent block *)
+      | Engine.Recovered { stats; _ } ->
+        List.for_all
+          (fun (s : Engine.retry_stat) ->
+            s.Engine.t_retries <= retry_limit + 1
+            && (s.t_fate <> Engine.Gave_up || s.t_retries = retry_limit + 1))
+          stats)
+
+let prop_recovery_terminates_mesh =
+  prop_recovery_terminates mesh3 mesh3_rt "recovery+cap terminates (mesh, random faults)"
+
+let prop_recovery_terminates_ring =
+  prop_recovery_terminates ring5 ring5_rt "recovery+cap terminates (ring, random faults)"
+
+let prop_faulted_runs_deterministic =
+  QCheck.Test.make ~name:"faulted runs replay identically" ~count:(count 40)
+    QCheck.(pair (schedule_gen ring5) fault_params_gen)
+    (fun (sched, params) ->
+      let config = recovery_config (random_faults ring5 sched params) in
+      Engine.run ~config ring5_rt sched = Engine.run ~config ring5_rt sched)
 
 (* ---- random spanning-tree routing on random digraphs ---- *)
 
@@ -325,7 +387,7 @@ let prop_random_net_acyclic_implies_safe =
       in
       match Engine.run rt sched with
       | Engine.All_delivered _ -> true
-      | Engine.Cutoff _ -> false
+      | Engine.Cutoff _ | Engine.Recovered _ -> false
       | Engine.Deadlock _ -> not (Cdg.is_acyclic cdg))
 
 (* ---- three-sharer ground truth vs Theorem-5 checker ---- *)
@@ -385,6 +447,9 @@ let () =
       suite "simulator"
         [ prop_acyclic_never_deadlocks; prop_sim_deterministic; prop_ring_outcomes_wellformed;
           prop_buffer_capacity_preserves_delivery ];
+      suite "fault-recovery"
+        [ prop_recovery_terminates_mesh; prop_recovery_terminates_ring;
+          prop_faulted_runs_deterministic ];
       suite "random-nets"
         [ prop_random_net_routing_valid; prop_random_net_cdg_sound;
           prop_random_net_acyclic_implies_safe ];

@@ -274,6 +274,80 @@ let test_vct_ring_still_deadlocks () =
   let vct = { Engine.default_config with buffer_capacity = 8 } in
   check cb "buffer cycle deadlock" true (Engine.is_deadlock (Engine.run ~config:vct rt sched))
 
+let test_saf_ring_deadlock () =
+  (* store-and-forward is no safer than wormhole on the cyclic substrate:
+     each message fully buffers in its first ring channel, then every header
+     wants the channel the next message occupies -- a closed buffer cycle *)
+  let rt, _ = ring4 () in
+  let sched =
+    List.init 4 (fun i -> Schedule.message ~length:2 (Printf.sprintf "m%d" i) i ((i + 2) mod 4))
+  in
+  let saf =
+    { Engine.default_config with buffer_capacity = 2; switching = Engine.Store_and_forward }
+  in
+  match Engine.run ~config:saf rt sched with
+  | Engine.Deadlock d ->
+    check ci "four blocked" 4 (List.length d.Engine.d_blocked);
+    check ci "wait cycle covers all" 4 (List.length d.Engine.d_wait_cycle);
+    List.iter
+      (fun (b : Engine.blocked_info) ->
+        match b.b_holder with
+        | Some h -> check cb "holder is another message" true (h <> b.b_label)
+        | None -> Alcotest.fail "blocked on a free channel")
+      d.Engine.d_blocked
+  | o ->
+    Alcotest.failf "expected SAF deadlock, got %s"
+      (Format.asprintf "%a" (Engine.pp_outcome (Routing.topology rt)) o)
+
+(* a unidirectional 4-ring r0..r3 plus a feeder node s injecting into r1.
+   Four length-2 messages contend; whoever wins channel r1->r2 decides the
+   run: the ring message "a" winning drains the network, the feeder message
+   "e" winning closes a four-message wait cycle. *)
+let ring_with_feeder () =
+  let t = Topology.create () in
+  let r = Array.init 4 (fun i -> Topology.add_node t (Printf.sprintf "r%d" i)) in
+  let s = Topology.add_node t "s" in
+  let c = Array.init 4 (fun i -> Topology.add_channel t r.(i) r.((i + 1) mod 4)) in
+  let cs = Topology.add_channel t s r.(1) in
+  let rt =
+    Routing.create ~name:"ring+feeder" t (fun input dest ->
+        let step node = if node = dest then None else Some c.(node) in
+        match input with
+        | Routing.Inject n -> if n = s then Some cs else step n
+        | Routing.From ch -> step (Topology.dst t ch))
+  in
+  (rt, s)
+
+let test_priority_dependent_deadlock () =
+  let rt, s = ring_with_feeder () in
+  let sched =
+    [
+      Schedule.message ~length:2 "a" 0 2;
+      Schedule.message ~length:2 "c" 2 0;
+      Schedule.message ~length:2 "d" 3 1;
+      Schedule.message ~length:2 "e" s 3;
+    ]
+  in
+  (* FIFO breaks the r1->r2 tie for "a" (schedule order) and everything
+     drains behind it *)
+  (match Engine.run rt sched with
+  | Engine.All_delivered _ -> ()
+  | o ->
+    Alcotest.failf "fifo should deliver, got %s"
+      (Format.asprintf "%a" (Engine.pp_outcome (Routing.topology rt)) o));
+  (* promoting the feeder message realizes the adversarial acquisition
+     order: e holds r1->r2 and waits on c, c on d, d on a, a on e *)
+  let config =
+    { Engine.default_config with arbitration = Engine.Priority [ "e"; "a"; "c"; "d" ] }
+  in
+  match Engine.run ~config rt sched with
+  | Engine.Deadlock d ->
+    check ci "four blocked" 4 (List.length d.Engine.d_blocked);
+    check ci "wait cycle covers all" 4 (List.length d.Engine.d_wait_cycle)
+  | o ->
+    Alcotest.failf "priority order should deadlock, got %s"
+      (Format.asprintf "%a" (Engine.pp_outcome (Routing.topology rt)) o)
+
 let test_schedule_pp_and_validate () =
   let rt, coords = ring4 () in
   let sched = [ Schedule.message ~length:2 ~holds:[ (0, 1) ] "m" 0 2 ] in
@@ -303,6 +377,8 @@ let () =
           Alcotest.test_case "fifo fairness" `Quick test_fifo_arbitration_fairness;
           Alcotest.test_case "priority override" `Quick test_priority_arbitration;
           Alcotest.test_case "no starvation" `Quick test_priority_does_not_starve_waiters;
+          Alcotest.test_case "priority-dependent deadlock" `Quick
+            test_priority_dependent_deadlock;
         ] );
       ( "holds",
         [
@@ -321,6 +397,7 @@ let () =
           Alcotest.test_case "SAF capacity check" `Quick test_saf_requires_capacity;
           Alcotest.test_case "VCT releases upstream" `Quick test_vct_releases_upstream;
           Alcotest.test_case "VCT ring deadlock" `Quick test_vct_ring_still_deadlocks;
+          Alcotest.test_case "SAF ring deadlock" `Quick test_saf_ring_deadlock;
         ] );
       ( "api",
         [
