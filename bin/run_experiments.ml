@@ -22,6 +22,7 @@ let known =
     ("exp-sw", `SW);
     ("exp-mc", `MC);
     ("exp-fault", `Fault);
+    ("exp-lint", `Lint);
   ]
 
 let run_one ~quick ~max_p ppf = function
@@ -39,9 +40,18 @@ let run_one ~quick ~max_p ppf = function
   | `SW -> Experiments.exp_sw ~quick ppf
   | `MC -> Experiments.exp_mc ~quick ppf
   | `Fault -> Experiments.exp_fault ~quick ppf
+  | `Lint -> Experiments.exp_lint ~quick ppf
 
-let main names quick max_p =
+let main names quick max_p sanitize =
   let ppf = Format.std_formatter in
+  let sanitizer =
+    if sanitize then begin
+      let s = Sanitizer.create () in
+      Sanitizer.install s;
+      Some s
+    end
+    else None
+  in
   let selected =
     match names with
     | [] -> List.map snd known
@@ -63,12 +73,24 @@ let main names quick max_p =
     Format.fprintf ppf "@\n%d claim(s) FAILED@." (List.length failed);
     exit 1
   end;
+  (match sanitizer with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf "@\nsanitizer: %d runs, %d cycles checked@." (Sanitizer.runs_checked s)
+      (Sanitizer.cycles_checked s);
+    if not (Sanitizer.ok s) then begin
+      Format.fprintf ppf "%d invariant violation(s):@." (Sanitizer.violation_count s);
+      List.iter
+        (fun d -> Format.fprintf ppf "  %a@." (Diagnostic.pp ()) d)
+        (Sanitizer.diagnostics s);
+      exit 1
+    end);
   Format.fprintf ppf "@\nall %d claims reproduced@." (List.length rows)
 
 let names_arg =
   let doc = "Experiments to run (default: all).  One of exp-f1, exp-t2, exp-corollaries, \
              exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-mc, \
-             exp-fault." in
+             exp-fault, exp-lint." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let quick_arg =
@@ -79,9 +101,14 @@ let max_p_arg =
   let doc = "Largest Section-6 family parameter for exp-g." in
   Arg.(value & opt (some int) None & info [ "max-p" ] ~docv:"N" ~doc)
 
+let sanitize_arg =
+  let doc = "Run every simulation under the engine sanitizer (per-cycle invariant \
+             checks E101-E105); report violations at the end and exit nonzero on any." in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
 let cmd =
   let doc = "regenerate the paper's figures and theorem checks" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const main $ names_arg $ quick_arg $ max_p_arg)
+  Cmd.v info Term.(const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,146 @@
+(* Static-analysis CLI over the algorithm registry.
+
+   Examples:
+     wormlint                          lint every registered algorithm
+     wormlint xy-mesh-4x4 cd-figure1   lint a selection
+     wormlint --json                   machine-readable output for CI
+     wormlint --faults 'fail:a>b@3' cd-figure1
+     wormlint --corpus                 run the seeded-defect corpus
+     wormlint --list                   show the registry
+
+   Exit status: 0 clean, 1 when any E-severity diagnostic (or corpus
+   failure) is found. *)
+
+open Cmdliner
+
+let list_registry () =
+  List.iter
+    (fun e ->
+      let kind =
+        match e.Registry.r_algo with
+        | Registry.Oblivious _ -> "oblivious"
+        | Registry.Adaptive (_, Some _) -> "adaptive+escape"
+        | Registry.Adaptive (_, None) -> "adaptive"
+      in
+      let flags =
+        (if e.Registry.r_declared_minimal then [ "minimal" ] else [])
+        @ (if e.Registry.r_expect_deadlock_free then [ "deadlock-free" ] else [ "deadlocks" ])
+      in
+      Printf.printf "%-26s %-16s %-22s %s\n" e.Registry.r_name kind
+        (String.concat "," flags) e.Registry.r_note)
+    (Registry.entries ());
+  0
+
+let run_corpus json =
+  let results = Corpus.check_all () in
+  let failed = List.filter (fun (_, r) -> r <> Ok ()) results in
+  if json then begin
+    let item (name, r) =
+      let ok, detail = match r with Ok () -> (true, "") | Error e -> (false, e) in
+      Printf.sprintf "{\"entry\":%s,\"ok\":%b,\"detail\":%s}"
+        ("\"" ^ Diagnostic.json_escape name ^ "\"")
+        ok
+        ("\"" ^ Diagnostic.json_escape detail ^ "\"")
+    in
+    print_endline ("[" ^ String.concat "," (List.map item results) ^ "]")
+  end
+  else
+    List.iter
+      (fun (name, r) ->
+        match r with
+        | Ok () -> Printf.printf "corpus %-28s ok\n" name
+        | Error e -> Printf.printf "corpus %-28s FAIL %s\n" name e)
+      results;
+  if failed = [] then 0 else 1
+
+let lint_entries json fault_spec selection =
+  let all = Registry.entries () in
+  let chosen =
+    match selection with
+    | [] -> all
+    | names ->
+      List.map
+        (fun n ->
+          match Registry.find n with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown algorithm %s (try --list)\n" n;
+            exit 2)
+        names
+  in
+  let lint_one e =
+    let topo = Registry.topology e in
+    let diags = Registry.lint e in
+    let fault_diags =
+      match fault_spec with
+      | None -> []
+      | Some spec -> (
+        match Fault.parse topo spec with
+        | Ok plan -> Lint.fault_plan topo plan
+        | Error msg ->
+          [
+            Diagnostic.error "E040" (Diagnostic.Algorithm e.Registry.r_name)
+              ("fault plan does not parse: " ^ msg);
+          ])
+    in
+    (e, topo, Diagnostic.by_severity (diags @ fault_diags))
+  in
+  let results = List.map lint_one chosen in
+  let num_errors =
+    List.fold_left (fun n (_, _, ds) -> n + List.length (Diagnostic.errors ds)) 0 results
+  in
+  if json then begin
+    let item (e, topo, ds) =
+      Printf.sprintf "{\"algorithm\":%s,\"diagnostics\":%s}"
+        ("\"" ^ Diagnostic.json_escape e.Registry.r_name ^ "\"")
+        (Diagnostic.list_to_json ~topo ds)
+    in
+    print_endline ("[" ^ String.concat "," (List.map item results) ^ "]")
+  end
+  else
+    List.iter
+      (fun (e, topo, ds) ->
+        Format.printf "%s: %d error(s), %d warning(s), %d info@." e.Registry.r_name
+          (Diagnostic.count Diagnostic.Error ds)
+          (Diagnostic.count Diagnostic.Warning ds)
+          (Diagnostic.count Diagnostic.Info ds);
+        List.iter (fun d -> Format.printf "  %a@." (Diagnostic.pp ~topo ()) d) ds)
+      results;
+  if num_errors = 0 then 0 else 1
+
+let main list corpus json fault_spec selection =
+  if list then list_registry ()
+  else if corpus then run_corpus json
+  else lint_entries json fault_spec selection
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the registered algorithms and exit.")
+
+let corpus_flag =
+  Arg.(
+    value & flag
+    & info [ "corpus" ]
+        ~doc:"Run the seeded-defect corpus: each entry must raise its expected code exactly \
+              once.")
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:"Also lint this fault plan (Fault.parse syntax) against each selected \
+              algorithm's topology.")
+
+let selection_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"ALGORITHM" ~doc:"Registry entries to lint \
+                                                                   (default: all).")
+
+let cmd =
+  let doc = "static lints for wormhole routing algorithms and fault plans" in
+  Cmd.v
+    (Cmd.info "wormlint" ~doc)
+    Term.(const main $ list_flag $ corpus_flag $ json_flag $ faults_arg $ selection_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,309 @@
+type entry = {
+  c_name : string;
+  c_expected : string;
+  c_note : string;
+  c_run : unit -> Topology.t * Diagnostic.t list;
+}
+
+let entry c_name c_expected c_note c_run = { c_name; c_expected; c_note; c_run }
+
+(* -- tiny topologies ------------------------------------------------- *)
+
+(* a triangle with all six directed channels *)
+let triangle () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let c = Topology.add_node t "c" in
+  let ab, ba = Topology.add_bidirectional t a b in
+  let bc, cb = Topology.add_bidirectional t b c in
+  let ca, ac = Topology.add_bidirectional t c a in
+  (t, a, b, c, ab, ba, bc, cb, ca, ac)
+
+(* a bidirectional 4-cycle a-b-c-d *)
+let square () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let c = Topology.add_node t "c" in
+  let d = Topology.add_node t "d" in
+  let ab, ba = Topology.add_bidirectional t a b in
+  let bc, cb = Topology.add_bidirectional t b c in
+  let cd, dc = Topology.add_bidirectional t c d in
+  let da, ad = Topology.add_bidirectional t d a in
+  (t, (a, b, c, d), (ab, ba, bc, cb, cd, dc, da, ad))
+
+let direct t input dest =
+  let here = Routing.current_node t input in
+  if here = dest then None else Topology.find_channel t here dest
+
+let lint_simple ?(minimal = false) rt = Lint.algorithm ~declared_minimal:minimal rt
+
+(* -- entries --------------------------------------------------------- *)
+
+let e001 () =
+  let (t, a, b, c, ab, ba, _bc, _cb, ca, ac) = triangle () in
+  let f input dest =
+    match input with
+    | Routing.Inject s when s = a && dest = b -> Some ac
+    | Routing.Inject s when s = c && dest = b -> Some ca
+    | Routing.Inject s when s = a && dest = c -> Some ab (* wrong way *)
+    | Routing.From ch when ch = ab && dest = c -> Some ba (* ping *)
+    | Routing.From ch when ch = ba && dest = c -> Some ab (* pong *)
+    | _ -> direct t input dest
+  in
+  let rt = Routing.create ~name:"seed-e001" t f in
+  (t, lint_simple rt)
+
+let e002 () =
+  let (t, a, b, c, ab, _ba, _bc, cb, ca, ac) = triangle () in
+  let f input dest =
+    match input with
+    | Routing.Inject s when s = a && dest = b -> Some ac
+    | Routing.Inject s when s = c && dest = b -> Some ca
+    | Routing.Inject s when s = a && dest = c -> Some ab
+    | Routing.From ch when ch = ab && dest = c -> Some cb (* cb does not leave b *)
+    | _ -> direct t input dest
+  in
+  let rt = Routing.create ~name:"seed-e002" t f in
+  (t, lint_simple rt)
+
+let e003 () =
+  let (t, a, b, c, ab, _ba, _bc, _cb, ca, ac) = triangle () in
+  let f input dest =
+    match input with
+    | Routing.Inject s when s = a && dest = b -> Some ac
+    | Routing.Inject s when s = c && dest = b -> Some ca
+    | Routing.Inject s when s = a && dest = c -> Some ab
+    | Routing.From ch when ch = ab && dest = c -> None (* consume at b, not c *)
+    | _ -> direct t input dest
+  in
+  let rt = Routing.create ~name:"seed-e003" t f in
+  (t, lint_simple rt)
+
+let e004 () =
+  let (t, _a, b, _c, ab, _ba, bc, _cb, _ca, _ac) = triangle () in
+  let f input dest =
+    match input with
+    | Routing.From ch when ch = ab && dest = b -> Some bc (* sail past b *)
+    | _ -> direct t input dest
+  in
+  let rt = Routing.create ~name:"seed-e004" t f in
+  (t, lint_simple rt)
+
+let e005 () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let _ab, ba = Topology.add_bidirectional t a b in
+  let ad =
+    Adaptive.create ~name:"seed-e005" t (fun input dest ->
+        let here = Routing.current_node t input in
+        if here = dest then []
+        else if here = a && dest = b then [] (* no option at a reachable state *)
+        else [ ba ])
+  in
+  (t, Lint.adaptive ad)
+
+let w010 () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let ab0 = Topology.add_channel t a b in
+  let _ab1 = Topology.add_channel ~vc:1 t a b in
+  let ba = Topology.add_channel t b a in
+  let f input dest =
+    let here = Routing.current_node t input in
+    if here = dest then None else if here = a then Some ab0 else Some ba
+  in
+  let rt = Routing.create ~name:"seed-w010" t f in
+  (t, lint_simple rt)
+
+let e011 () =
+  let (t, (a, b, c, d), (_ab, ba, bc, cb, cd, dc, da, ad)) = square () in
+  let rt =
+    Table_routing.of_paths ~name:"seed-e011" ~default:(fun _ _ -> None) t
+      [
+        (a, b, [ ad; dc; cb ]); (* the long way round: 3 hops, shortest is 1 *)
+        (a, c, [ ad; dc ]);
+        (a, d, [ ad ]);
+        (b, a, [ ba ]);
+        (b, c, [ bc ]);
+        (b, d, [ ba; ad ]);
+        (c, a, [ cd; da ]);
+        (c, b, [ cb ]);
+        (c, d, [ cd ]);
+        (d, a, [ da ]);
+        (d, b, [ dc; cb ]);
+        (d, c, [ dc ]);
+      ]
+  in
+  (t, lint_simple ~minimal:true rt)
+
+let w012 () =
+  let (t, (a, b, c, d), (ab, ba, bc, cb, cd, dc, da, ad)) = square () in
+  let rt =
+    Table_routing.of_paths ~name:"seed-w012" ~default:(fun _ _ -> None) t
+      [
+        (b, c, [ ba; ad; dc ]);
+        (a, c, [ ab; bc ]); (* != the (b,c) suffix [ad; dc] *)
+        (a, b, [ ab ]);
+        (a, d, [ ad ]);
+        (b, a, [ ba ]);
+        (b, d, [ ba; ad ]);
+        (c, a, [ cd; da ]);
+        (c, b, [ cb ]);
+        (c, d, [ cd ]);
+        (d, a, [ da ]);
+        (d, b, [ da; ab ]);
+        (d, c, [ dc ]);
+      ]
+  in
+  (t, lint_simple rt)
+
+let w013 () =
+  let (t, (a, b, c, d), (ab, ba, bc, cb, cd, dc, da, ad)) = square () in
+  let rt =
+    Table_routing.of_paths ~name:"seed-w013" ~default:(fun _ _ -> None) t
+      [
+        (a, b, [ ad; dc; cb ]); (* != the (a,c) prefix [ab] *)
+        (a, c, [ ab; bc ]);
+        (a, d, [ ad ]);
+        (b, a, [ ba ]);
+        (b, c, [ bc ]);
+        (b, d, [ ba; ad ]);
+        (c, a, [ cd; da ]);
+        (c, b, [ cb ]);
+        (c, d, [ cd ]);
+        (d, a, [ da ]);
+        (d, b, [ dc; cb ]);
+        (d, c, [ dc ]);
+      ]
+  in
+  (t, lint_simple rt)
+
+let w014 () =
+  let (t, (a, b, c, d), (ab, ba, bc, cb, cd, dc, da, ad)) = square () in
+  let rt =
+    Table_routing.of_paths ~name:"seed-w014" ~default:(fun _ _ -> None) t
+      [
+        (a, c, [ ab; ba; ad; dc ]); (* visits a twice *)
+        (a, b, [ ab ]);
+        (a, d, [ ad ]);
+        (b, a, [ ba ]);
+        (b, c, [ bc ]);
+        (b, d, [ ba; ad ]);
+        (c, a, [ cd; da ]);
+        (c, b, [ cb ]);
+        (c, d, [ cd ]);
+        (d, a, [ da ]);
+        (d, b, [ dc; cb ]);
+        (d, c, [ dc ]);
+      ]
+  in
+  (t, lint_simple rt)
+
+let e022 () =
+  let ring = Builders.ring ~unidirectional:true 4 in
+  let rt = Ring_routing.clockwise ring in
+  (ring.Builders.topo, Lint.algorithm ~expect_deadlock_free:true rt)
+
+let e030 () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let ab0 = Topology.add_channel t a b in
+  let ab1 = Topology.add_channel ~vc:1 t a b in
+  let ba0 = Topology.add_channel t b a in
+  let ba1 = Topology.add_channel ~vc:1 t b a in
+  let ad =
+    Adaptive.create ~name:"seed-e030" t (fun input dest ->
+        let here = Routing.current_node t input in
+        if here = dest then [] else if here = a then [ ab0 ] else [ ba0 ])
+  in
+  let escape =
+    Routing.create ~name:"seed-e030-escape" t (fun input dest ->
+        let here = Routing.current_node t input in
+        if here = dest then None else if here = a then Some ab1 else Some ba1)
+  in
+  (t, Lint.adaptive ~escape ad)
+
+let e031 () =
+  let mesh = Builders.mesh [ 4; 4 ] in
+  let ad = Adaptive.fully_adaptive_minimal mesh in
+  let escape = Dimension_order.mesh mesh in
+  (mesh.Builders.topo, Lint.adaptive ~expect_deadlock_free:true ~escape ad)
+
+let fault_topo () = (Builders.line 3).Builders.topo
+
+let e040 () =
+  let t = fault_topo () in
+  let plan = Fault.make [ Fault.Link_failure { channel = 99; at = 0 } ] in
+  (t, Lint.fault_plan t plan)
+
+let e041 () =
+  let t = fault_topo () in
+  let plan =
+    Fault.make
+      [
+        Fault.Link_failure { channel = 0; at = 2 };
+        Fault.Transient_stall { channel = 0; at = 5; duration = 3 };
+      ]
+  in
+  (t, Lint.fault_plan t plan)
+
+let w042 () =
+  let t = fault_topo () in
+  let plan = Fault.make [ Fault.Message_drop { label = "ghost"; at = 3 } ] in
+  (t, Lint.fault_plan ~labels:[ "m1"; "m2" ] t plan)
+
+let w043 () =
+  let t = fault_topo () in
+  let plan =
+    Fault.make
+      [
+        Fault.Link_failure { channel = 1; at = 0 };
+        Fault.Link_failure { channel = 1; at = 7 };
+      ]
+  in
+  (t, Lint.fault_plan t plan)
+
+let entries () =
+  [
+    entry "livelock-triangle" "E001" "the (a,c) walk ping-pongs between a and b" e001;
+    entry "misroute-triangle" "E002" "at b the function returns a channel leaving c" e002;
+    entry "early-consume-triangle" "E003" "the (a,c) walk consumes at b" e003;
+    entry "pass-destination-triangle" "E004" "the (a,b) walk sails through b" e004;
+    entry "adaptive-no-option" "E005" "a reachable state offers no output channel" e005;
+    entry "dead-vc-line" "W010" "the second a->b virtual channel is never routed on" w010;
+    entry "nonminimal-square" "E011" "declared minimal but (a,b) takes 3 hops" e011;
+    entry "suffix-break-square" "W012" "the (b,c) suffix from a differs from the (a,c) path"
+      w012;
+    entry "prefix-break-square" "W013" "the (a,c) prefix to b differs from the (a,b) path"
+      w013;
+    entry "repeat-node-square" "W014" "the (a,c) path visits a twice" w014;
+    entry "ring-deadlock-declared-free" "E022"
+      "clockwise 4-ring declared deadlock-free: its cycle is reachable" e022;
+    entry "escape-not-offered" "E030" "the escape VC is never among the adaptive options" e030;
+    entry "extended-cdg-cycle" "E031"
+      "fully adaptive declared deadlock-free: extended escape CDG is cyclic" e031;
+    entry "fault-bad-channel" "E040" "fault plan fails channel 99 of a 4-channel line" e040;
+    entry "fault-stall-after-fail" "E041" "stall window opens after the permanent failure"
+      e041;
+    entry "fault-ghost-drop" "W042" "drop references a label no message carries" w042;
+    entry "fault-double-fail" "W043" "the same channel fails permanently twice" w043;
+  ]
+
+let check e =
+  let topo, diags = e.c_run () in
+  let hits = List.filter (fun d -> d.Diagnostic.code = e.c_expected) diags in
+  match hits with
+  | [ _ ] -> Ok ()
+  | _ ->
+    let render d = Format.asprintf "%a" (Diagnostic.pp ~topo ()) d in
+    Error
+      (Printf.sprintf "expected %s exactly once, got %d; diagnostics: %s" e.c_expected
+         (List.length hits)
+         (String.concat " | " (List.map render diags)))
+
+let check_all () = List.map (fun e -> (e.c_name, check e)) (entries ())

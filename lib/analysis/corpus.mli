@@ -1,0 +1,25 @@
+(** Seeded-defect corpus: one deliberately broken miniature per lint code.
+
+    Each entry builds a tiny network whose routing (or fault plan) contains
+    exactly one planted defect, runs the relevant {!Lint} battery, and
+    expects the named code to appear {e exactly once}.  Other codes may ride
+    along where the defect forces them (a livelocked pair necessarily leaves
+    its direct channel dead, so the E001 entry also carries a W010); the
+    check is on the expected code's count only.  EXP-LINT and the wormlint
+    [--corpus] flag both run {!check_all}. *)
+
+type entry = {
+  c_name : string;
+  c_expected : string;  (** the diagnostic code the planted defect must raise *)
+  c_note : string;  (** what is broken, one line *)
+  c_run : unit -> Topology.t * Diagnostic.t list;
+      (** build the defective network and lint it *)
+}
+
+val entries : unit -> entry list
+
+val check : entry -> (unit, string) result
+(** [Ok ()] when the expected code fires exactly once; [Error what] with the
+    observed diagnostics otherwise. *)
+
+val check_all : unit -> (string * (unit, string) result) list

@@ -1,0 +1,102 @@
+type severity = Error | Warning | Info
+
+type subject =
+  | Algorithm of string
+  | Node of Topology.node
+  | Channel of Topology.channel
+  | Message of string
+  | Pair of Topology.node * Topology.node
+  | Cycle of Topology.channel list
+  | Event of int
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : subject;
+  message : string;
+  context : (string * string) list;
+}
+
+let severity_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let code_letter = function Error -> 'E' | Warning -> 'W' | Info -> 'I'
+
+let make severity ?(context = []) code subject message =
+  if String.length code < 2 || code.[0] <> code_letter severity then
+    invalid_arg
+      (Printf.sprintf "Diagnostic: code %S does not match severity %s" code
+         (severity_string severity));
+  { code; severity; subject; message; context }
+
+let error ?context code subject message = make Error ?context code subject message
+let warning ?context code subject message = make Warning ?context code subject message
+let info ?context code subject message = make Info ?context code subject message
+
+let is_error d = d.severity = Error
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let errors ds = List.filter is_error ds
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let by_severity ds =
+  List.stable_sort (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity)) ds
+
+let subject_string ?topo s =
+  let node v =
+    match topo with Some t -> Topology.node_name t v | None -> Printf.sprintf "node#%d" v
+  in
+  let channel c =
+    match topo with
+    | Some t -> Topology.channel_name t c
+    | None -> Printf.sprintf "channel#%d" c
+  in
+  match s with
+  | Algorithm name -> Printf.sprintf "algorithm %s" name
+  | Node v -> node v
+  | Channel c -> channel c
+  | Message l -> Printf.sprintf "message %s" l
+  | Pair (a, b) -> Printf.sprintf "%s->%s" (node a) (node b)
+  | Cycle cs -> Printf.sprintf "cycle [%s]" (String.concat " " (List.map channel cs))
+  | Event i -> Printf.sprintf "fault event %d" i
+
+let pp ?topo () ppf d =
+  Format.fprintf ppf "%s %s %s: %s" d.code (severity_string d.severity)
+    (subject_string ?topo d.subject) d.message;
+  if d.context <> [] then
+    Format.fprintf ppf " (%s)"
+      (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) d.context))
+
+(* ---- JSON (hand-rolled: the repo deliberately has no JSON dependency) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let to_json ?topo d =
+  let context =
+    d.context
+    |> List.map (fun (k, v) -> Printf.sprintf "%s:%s" (jstr k) (jstr v))
+    |> String.concat ","
+  in
+  Printf.sprintf "{\"code\":%s,\"severity\":%s,\"subject\":%s,\"message\":%s,\"context\":{%s}}"
+    (jstr d.code)
+    (jstr (severity_string d.severity))
+    (jstr (subject_string ?topo d.subject))
+    (jstr d.message) context
+
+let list_to_json ?topo ds = "[" ^ String.concat "," (List.map (to_json ?topo) ds) ^ "]"

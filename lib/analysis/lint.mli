@@ -1,0 +1,61 @@
+(** Static lints over routing algorithms and fault plans.
+
+    All checks are purely static: they enumerate paths, build the CDG and
+    apply the paper's cycle classification theorems, but never run the
+    simulator (the dynamic complement lives in [Verify.diagnostics] and in
+    the engines' sanitizer mode).
+
+    Lint codes produced here:
+
+    - [E001] livelock: some pair is never delivered within the step cutoff
+    - [E002] misroute: the function returns a channel that does not leave
+      the current node
+    - [E003] premature consumption at a non-destination node
+    - [E004] the walk passes through its destination without consuming
+    - [E005] adaptive routing fails its reachable-state validation
+    - [W010] dead virtual channel: no source/destination path uses it
+    - [E011] declared minimal, but some path is longer than the shortest
+      (context carries the witness path)
+    - [W012] not suffix-closed (Definition 8), witness in the message
+    - [W013] not prefix-closed (Definition 7)
+    - [W014] some path repeats a node
+    - [I020] CDG cycle certified unreachable (false resource cycle)
+    - [W021] CDG cycle outside the characterized cases (needs search)
+    - [E022] CDG cycle certified deadlock-reachable on an algorithm declared
+      deadlock-free
+    - [I023] deadlock-reachable cycle on an algorithm {e not} declared
+      deadlock-free (the expected result for the paper's counterexamples)
+    - [E030] Duato escape subfunction not connected (witness state)
+    - [E031] extended escape CDG has a cycle
+    - [I032] extended escape CDG cyclic on a design declared non-certified
+    - [E040] fault event references a channel outside the topology
+    - [E041] unsatisfiable stall window (the channel is already permanently
+      failed when the stall begins)
+    - [W042] fault drop references a label outside the given schedule
+    - [W043] redundant permanent failure (channel already failed earlier) *)
+
+val algorithm :
+  ?declared_minimal:bool ->
+  ?expect_deadlock_free:bool ->
+  ?max_cycles:int ->
+  Routing.t ->
+  Diagnostic.t list
+(** Run the full static battery over an oblivious algorithm.
+    [declared_minimal] (default false) arms the [E011] minimality lint;
+    [expect_deadlock_free] (default true) decides whether a theorem-certified
+    reachable cycle is an error ([E022]) or the documented expectation
+    ([I023]).  CDG cycle enumeration stops after [max_cycles] (default 64).
+    Diagnostics are returned errors-first. *)
+
+val adaptive :
+  ?expect_deadlock_free:bool ->
+  ?escape:Routing.t ->
+  Adaptive.t ->
+  Diagnostic.t list
+(** Validate an adaptive algorithm and, when [escape] is given, check
+    Duato's condition: escape connectivity and extended-CDG acyclicity. *)
+
+val fault_plan : ?labels:string list -> Topology.t -> Fault.plan -> Diagnostic.t list
+(** Lint a fault plan against a topology: out-of-range channels,
+    unsatisfiable stall windows, redundant failures, and (when [labels]
+    lists the schedule's messages) drops that can never fire. *)

@@ -790,6 +790,67 @@ let exp_fault ?(quick = false) ppf =
   in
   campaign_rows @ [ off_row; cap_row ] @ degrade_rows
 
+(* ---- wormlint self-check ---- *)
+
+let exp_lint ?(quick = false) ppf =
+  ignore quick;
+  header ppf "EXP-LINT: static analysis over the registry and the defect corpus";
+  let entries = Registry.entries () in
+  let lint_results =
+    List.map
+      (fun (e : Registry.entry) ->
+        let topo = Registry.topology e in
+        let diags = Registry.lint e in
+        (e, topo, diags))
+      entries
+  in
+  List.iter
+    (fun ((e : Registry.entry), topo, diags) ->
+      Format.fprintf ppf "%s: %d error(s), %d warning(s), %d info@\n" e.Registry.r_name
+        (Diagnostic.count Diagnostic.Error diags)
+        (Diagnostic.count Diagnostic.Warning diags)
+        (Diagnostic.count Diagnostic.Info diags);
+      List.iter
+        (fun d ->
+          if Diagnostic.is_error d then
+            Format.fprintf ppf "  %a@\n" (Diagnostic.pp ~topo ()) d)
+        diags)
+    lint_results;
+  let offending =
+    List.filter (fun (_, _, diags) -> Diagnostic.errors diags <> []) lint_results
+  in
+  let corpus = Corpus.entries () in
+  let corpus_failures =
+    List.filter_map
+      (fun (c : Corpus.entry) ->
+        match Corpus.check c with
+        | Ok () -> None
+        | Error msg -> Some (c.Corpus.c_name, msg))
+      corpus
+  in
+  List.iter
+    (fun (name, msg) -> Format.fprintf ppf "corpus %s: FAILED (%s)@\n" name msg)
+    corpus_failures;
+  let codes =
+    List.sort_uniq compare (List.map (fun (c : Corpus.entry) -> c.Corpus.c_expected) corpus)
+  in
+  Format.fprintf ppf "corpus: %d seeded defects over %d distinct codes (%s)@\n"
+    (List.length corpus) (List.length codes) (String.concat " " codes);
+  [
+    row "LINT/registry" "every shipped algorithm lints with zero E-severity diagnostics"
+      (Printf.sprintf "%d algorithms, %d with errors" (List.length lint_results)
+         (List.length offending))
+      (offending = []);
+    row "LINT/corpus" "every seeded defect is flagged exactly once by its expected code"
+      (Printf.sprintf "%d/%d corpus entries pass"
+         (List.length corpus - List.length corpus_failures)
+         (List.length corpus))
+      (corpus_failures = []);
+    row "LINT/coverage" "the corpus exercises at least 8 distinct lint codes"
+      (Printf.sprintf "%d distinct codes" (List.length codes))
+      (List.length codes >= 8);
+  ]
+
 let all ?quick ppf =
   List.concat
     [
@@ -807,6 +868,7 @@ let all ?quick ppf =
       exp_sw ?quick ppf;
       exp_mc ?quick ppf;
       exp_fault ?quick ppf;
+      exp_lint ?quick ppf;
     ]
 
 let summary_table rows =

@@ -87,6 +87,12 @@ val exp_fault : ?quick:bool -> Format.formatter -> row list
     recovery off a permanent failure reports as a deadlock; a failed mesh
     channel is routed around with a re-certified degraded algorithm. *)
 
+val exp_lint : ?quick:bool -> Format.formatter -> row list
+(** Static-analysis extension: every registered algorithm lints with zero
+    E-severity diagnostics, and every seeded defect in the wormlint corpus
+    is flagged exactly once by its expected code (with at least 8 distinct
+    codes exercised). *)
+
 val all : ?quick:bool -> Format.formatter -> row list
 (** Run everything in order. *)
 

@@ -173,6 +173,51 @@ let analyze ?(use_search = true) ?(quick = false) ?(max_cycles_enumerated = 100)
     conclusion;
   }
 
+let diagnostics r =
+  let conclusion_diag =
+    match r.conclusion with
+    | Deadlocks why -> Diagnostic.error "E050" (Diagnostic.Algorithm r.algorithm) why
+    | Unknown why -> Diagnostic.warning "W052" (Diagnostic.Algorithm r.algorithm) why
+    | Deadlock_free why -> Diagnostic.info "I053" (Diagnostic.Algorithm r.algorithm) why
+  in
+  let cycle_diags =
+    List.concat_map
+      (fun cr ->
+        let verdict = Format.asprintf "%a" Cycle_analysis.pp_verdict cr.cr_verdict in
+        match cr.cr_witness with
+        | Some w ->
+          [
+            Diagnostic.error "E051"
+              ~context:
+                [
+                  ("algorithm", r.algorithm);
+                  ("verdict", verdict);
+                  ("runs", string_of_int cr.cr_search_runs);
+                  ( "schedule",
+                    String.concat ", "
+                      (List.map (fun s -> s.Schedule.ms_label) w.Explorer.w_schedule) );
+                ]
+              (Diagnostic.Cycle cr.cr_cycle)
+              "schedule search produced a replayable deadlock witness";
+          ]
+        | None ->
+          if cr.cr_searched then
+            [
+              Diagnostic.info "I054"
+                ~context:
+                  [
+                    ("algorithm", r.algorithm);
+                    ("verdict", verdict);
+                    ("runs", string_of_int cr.cr_search_runs);
+                  ]
+                (Diagnostic.Cycle cr.cr_cycle)
+                "bounded-exhaustive search found no reachable deadlock on this cycle";
+            ]
+          else [])
+      r.cycles
+  in
+  Diagnostic.by_severity (conclusion_diag :: cycle_diags)
+
 let pp_conclusion ppf = function
   | Deadlock_free why -> Format.fprintf ppf "DEADLOCK-FREE (%s)" why
   | Deadlocks why -> Format.fprintf ppf "CAN DEADLOCK (%s)" why

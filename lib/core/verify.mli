@@ -47,5 +47,14 @@ val analyze :
     (single-flit buffers, order-following arbitration) for fast passes.
     [max_cycles_enumerated] (default 100) bounds Johnson enumeration. *)
 
+val diagnostics : report -> Diagnostic.t list
+(** The report as structured diagnostics, severity-sorted: the conclusion
+    becomes [E050] (deadlocks) / [W052] (undecided) / [I053] (deadlock-free),
+    a confirmed per-cycle witness becomes [E051] (context: the witness
+    schedule's labels and the search run count), and a searched-but-clean
+    cycle becomes [I054].  Theorem classifications of individual cycles are
+    deliberately {e not} duplicated here -- {!Lint.algorithm} owns those
+    ([I020]-[I023]). *)
+
 val pp_conclusion : Format.formatter -> conclusion -> unit
 val pp_report : Format.formatter -> report -> unit

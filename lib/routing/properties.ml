@@ -16,7 +16,7 @@ let over_pairs rt check =
     else if s = d then loop s (d + 1)
     else
       match Routing.path rt s d with
-      | Error e -> Fails e
+      | Error e -> Fails (Routing.error_message e)
       | Ok p -> (
         match check s d p with
         | None -> loop s (d + 1)
@@ -89,7 +89,7 @@ let prefix_closed rt =
           | None -> each rest
           | Some expected -> (
             match Routing.path rt s x with
-            | Error e -> Some e
+            | Error e -> Some (Routing.error_message e)
             | Ok q ->
               if q = expected then each rest
               else
@@ -112,7 +112,7 @@ let suffix_closed rt =
           | None -> each rest
           | Some expected -> (
             match Routing.path rt x d with
-            | Error e -> Some e
+            | Error e -> Some (Routing.error_message e)
             | Ok q ->
               if q = expected then each rest
               else

@@ -18,13 +18,32 @@ let current_node topo = function
 
 let next t input dest = t.f input dest
 
+type error_kind =
+  | Livelock of { limit : int }
+  | Consumed_early of { at : Topology.node }
+  | Not_leaving of { channel : Topology.channel; at : Topology.node }
+  | Passed_destination
+
+type error = {
+  e_algorithm : string;
+  e_src : Topology.node;
+  e_dst : Topology.node;
+  e_kind : error_kind;
+  e_message : string;
+}
+
+exception Route_error of error
+
+let error_message e = e.e_message
+
 let path t s d =
   if s = d then Ok []
   else begin
     let limit = (4 * Topology.num_channels t.topo) + 4 in
+    let err kind msg = Error { e_algorithm = t.name; e_src = s; e_dst = d; e_kind = kind; e_message = msg } in
     let rec walk input acc steps =
       if steps > limit then
-        Error
+        err (Livelock { limit })
           (Printf.sprintf "%s: no delivery from %s to %s within %d steps (livelock?)" t.name
              (Topology.node_name t.topo s) (Topology.node_name t.topo d) limit)
       else begin
@@ -33,16 +52,16 @@ let path t s d =
         | None ->
           if here = d then Ok (List.rev acc)
           else
-            Error
+            err (Consumed_early { at = here })
               (Printf.sprintf "%s: consumed at %s but destination is %s" t.name
                  (Topology.node_name t.topo here) (Topology.node_name t.topo d))
         | Some c ->
           if Topology.src t.topo c <> here then
-            Error
+            err (Not_leaving { channel = c; at = here })
               (Printf.sprintf "%s: routed onto %s which does not leave %s" t.name
                  (Topology.channel_name t.topo c) (Topology.node_name t.topo here))
           else if here = d then
-            Error
+            err Passed_destination
               (Printf.sprintf "%s: passed through destination %s without consuming" t.name
                  (Topology.node_name t.topo d))
           else walk (From c) (c :: acc) (steps + 1)
@@ -52,7 +71,7 @@ let path t s d =
   end
 
 let path_exn t s d =
-  match path t s d with Ok p -> p | Error e -> failwith e
+  match path t s d with Ok p -> p | Error e -> raise (Route_error e)
 
 let validate t =
   let n = Topology.num_nodes t.topo in
@@ -63,7 +82,7 @@ let validate t =
     else
       match path t s d with
       | Ok _ -> pairs s (d + 1)
-      | Error e -> Error e
+      | Error e -> Error e.e_message
   in
   pairs 0 0
 

@@ -32,13 +32,37 @@ val current_node : Topology.t -> input -> Topology.node
 val next : t -> input -> Topology.node -> Topology.channel option
 (** One routing step. *)
 
-val path : t -> Topology.node -> Topology.node -> (Topology.channel list, string) result
-(** The unique path from source to destination, or an error describing the
-    failure (livelock, broken channel chain, premature consumption...).
+(** Typed routing failures, the raw material of the [E001]-[E004] wormlint
+    diagnostics (see [Wr_analysis.Lint]). *)
+type error_kind =
+  | Livelock of { limit : int }
+      (** the walk did not deliver within the step cutoff *)
+  | Consumed_early of { at : Topology.node }
+      (** the function consumed at a node that is not the destination *)
+  | Not_leaving of { channel : Topology.channel; at : Topology.node }
+      (** the returned channel does not leave the current node *)
+  | Passed_destination
+      (** the walk reached the destination but kept routing *)
+
+type error = {
+  e_algorithm : string;
+  e_src : Topology.node;
+  e_dst : Topology.node;
+  e_kind : error_kind;
+  e_message : string;  (** pre-rendered human-readable description *)
+}
+
+exception Route_error of error
+
+val error_message : error -> string
+
+val path : t -> Topology.node -> Topology.node -> (Topology.channel list, error) result
+(** The unique path from source to destination, or a typed error describing
+    the failure (livelock, broken channel chain, premature consumption...).
     The walk is cut off after [4 * num_channels + 4] steps. *)
 
 val path_exn : t -> Topology.node -> Topology.node -> Topology.channel list
-(** @raise Failure when [path] returns an error. *)
+(** @raise Route_error when [path] returns an error. *)
 
 val validate : t -> (unit, string) result
 (** Check every ordered pair of distinct nodes is delivered. *)

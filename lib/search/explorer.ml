@@ -95,6 +95,18 @@ let space_size sp =
   orders * prios * gaps * lengths * holds * offsets * List.length sp.buffers
 
 exception Found of witness
+exception Engine_bug of Diagnostic.t
+
+let engine_bug code ~rt ~sched ~cycle msg =
+  let context =
+    [
+      ("algorithm", Routing.name rt);
+      ("cycle", string_of_int cycle);
+      ( "schedule",
+        String.concat ", " (List.map (fun s -> s.Schedule.ms_label) sched) );
+    ]
+  in
+  raise (Engine_bug (Diagnostic.error ~context code (Diagnostic.Algorithm (Routing.name rt)) msg))
 
 let explore ?(stop_at_first = true) rt sp =
   let n = List.length sp.messages in
@@ -145,9 +157,12 @@ let explore ?(stop_at_first = true) rt sp =
         | Engine.Deadlock info' -> info'.Engine.d_cycle = info.Engine.d_cycle
         | _ -> false
       in
-      if not confirmed then failwith "Explorer: witness failed to replay";
+      if not confirmed then
+        engine_bug "E090" ~rt ~sched ~cycle:info.Engine.d_cycle
+          "deadlock witness failed to replay: the engine is not deterministic";
       if info.Engine.d_wait_cycle = [] then
-        failwith "Explorer: reported deadlock has no wait-for cycle (engine bug)";
+        engine_bug "E091" ~rt ~sched ~cycle:info.Engine.d_cycle
+          "reported deadlock has no wait-for cycle";
       let w = { w_schedule = sched; w_config = config; w_info = info } in
       last_witness := Some w;
       if stop_at_first then raise (Found w)

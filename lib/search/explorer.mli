@@ -81,10 +81,20 @@ type verdict =
   | No_deadlock of { runs : int }
   | Deadlock_found of { runs : int; witness : witness }
 
+exception Engine_bug of Diagnostic.t
+(** Raised -- deliberately fatal -- when the engine violates its own
+    contract during a search: [E090] a deadlock witness failed to replay
+    (the engine is not deterministic), [E091] a reported deadlock carries no
+    wait-for cycle.  The diagnostic's context records the algorithm, the
+    cycle, and the schedule's message labels.  These are engine bugs, never
+    properties of the routing under test, so they are not folded into a
+    verdict. *)
+
 val explore : ?stop_at_first:bool -> Routing.t -> space -> verdict
 (** Enumerate the space in a deterministic order.  With [stop_at_first]
     (default true) stop at the first confirmed witness; otherwise the last
-    witness found is returned and [runs] counts the full space. *)
+    witness found is returned and [runs] counts the full space.
+    @raise Engine_bug on [E090]/[E091] internal-consistency failures. *)
 
 val space_size : space -> int
 (** Number of simulator runs [explore] would perform without early exit. *)

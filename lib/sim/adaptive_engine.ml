@@ -38,7 +38,7 @@ type msg_state = {
   mutable progressed : bool;
 }
 
-let run ?(config = Engine.default_config) adaptive sched =
+let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
   if config.Engine.buffer_capacity < 1 then invalid_arg "Adaptive_engine.run: buffer_capacity < 1";
   let topo = Adaptive.topology adaptive in
   let labels = List.map (fun (m : Schedule.message_spec) -> m.ms_label) sched in
@@ -170,6 +170,76 @@ let run ?(config = Engine.default_config) adaptive sched =
       m.attempt_at <- t + delay;
       m.last_progress <- t + delay
     end
+  in
+  (* -- sanitizer: same invariant sweep as the oblivious engine, over the
+        carved [taken] path (see Sanitizer's doc for the code table) -- *)
+  let sanitizer = match sanitizer with Some s -> Some s | None -> Sanitizer.current () in
+  (match sanitizer with Some s -> Sanitizer.note_run s | None -> ());
+  let sanitize t =
+    match sanitizer with
+    | None -> ()
+    | Some san ->
+      Sanitizer.note_cycle san;
+      let ctx = [ ("algorithm", Adaptive.name adaptive); ("cycle", string_of_int t) ] in
+      let viol code m msg =
+        Sanitizer.record san
+          (Diagnostic.error code (Diagnostic.Message m.spec.Schedule.ms_label) msg ~context:ctx)
+      in
+      Array.iter
+        (fun m ->
+          let k = Vec.length m.taken in
+          let buffered = ref 0 in
+          Vec.iter (fun n -> buffered := !buffered + n) m.occ;
+          if m.gone = None && m.injected <> m.consumed + !buffered then
+            viol "E101" m
+              (Printf.sprintf "flit conservation broken: injected %d <> consumed %d + buffered %d"
+                 m.injected m.consumed !buffered);
+          for i = 0 to k - 1 do
+            let n = Vec.get m.occ i in
+            if n < 0 || n > cap then
+              viol "E102" m
+                (Printf.sprintf "buffer occupancy %d outside [0, %d] at hop %d" n cap i);
+            if n > 0 && owner.(Vec.get m.taken i) <> m.idx then
+              viol "E102" m
+                (Printf.sprintf "flits buffered on %s which the message does not own"
+                   (Topology.channel_name topo (Vec.get m.taken i)));
+            if n > 0 && (i < m.released_up_to || i > m.head) then
+              viol "E103" m
+                (Printf.sprintf "flits at hop %d outside the live window [%d, %d]" i
+                   m.released_up_to (min m.head (k - 1)))
+          done;
+          let release_bound = if m.arrived then k else max m.head 0 in
+          if m.released_up_to < 0 || m.released_up_to > release_bound then
+            viol "E103" m
+              (Printf.sprintf "release watermark %d outside [0, %d]" m.released_up_to
+                 release_bound);
+          if m.wait_since <> max_int && m.wait_since > t then
+            viol "E104" m
+              (Printf.sprintf "wait timestamp %d is in the future" m.wait_since);
+          if m.gone <> None && m.wait_since <> max_int then
+            viol "E104" m "abandoned message still has a wait timestamp";
+          match config.Engine.recovery with
+          | Some r when m.gone = None ->
+            if m.retries > r.Engine.retry_limit then
+              viol "E105" m
+                (Printf.sprintf "live message has %d retries, over the limit %d" m.retries
+                   r.Engine.retry_limit);
+            if active m && t - m.last_progress >= r.Engine.watchdog then
+              viol "E105" m
+                (Printf.sprintf
+                   "watchdog bound broken: no progress since cycle %d (watchdog %d)"
+                   m.last_progress r.Engine.watchdog)
+          | Some _ | None -> ())
+        marr;
+      Array.iteri
+        (fun c own ->
+          if own >= 0 then
+            let m = marr.(own) in
+            if not (Vec.exists (fun c' -> c' = c) m.taken) then
+              viol "E102" m
+                (Printf.sprintf "owns %s which is not on its carved path"
+                   (Topology.channel_name topo c)))
+        owner
   in
   let cycle = ref 0 in
   let outcome = ref None in
@@ -322,7 +392,8 @@ let run ?(config = Engine.default_config) adaptive sched =
             end
           end)
         marr);
-    (* -- termination -- *)
+    (* -- end of cycle: sanitizer, then termination -- *)
+    sanitize t;
     if !finished = nmsg then
       outcome :=
         Some

@@ -30,8 +30,10 @@ type outcome =
           with every message delivered, dropped, or abandoned (see
           {!Engine.outcome}) *)
 
-val run : ?config:Engine.config -> Adaptive.t -> Schedule.t -> outcome
-(** Faults and recovery follow {!Engine.run} semantics, with one adaptive
+val run : ?config:Engine.config -> ?sanitizer:Sanitizer.t -> Adaptive.t -> Schedule.t -> outcome
+(** [sanitizer] behaves exactly as in {!Engine.run} (per-cycle invariant
+    checks E101-E105, falling back to the installed process-wide sanitizer).
+    Faults and recovery follow {!Engine.run} semantics, with one adaptive
     twist: headers simply never claim a down channel, so adaptive routing
     steers around faults without a reroute function —
     [config.recovery.reroute] is ignored here.

@@ -106,7 +106,7 @@ type msg_state = {
 let hold_for m c =
   match List.assoc_opt c m.spec.Schedule.ms_holds with Some t -> t | None -> 0
 
-let run ?(config = default_config) ?probe rt sched =
+let run ?(config = default_config) ?probe ?sanitizer rt sched =
   if config.buffer_capacity < 1 then invalid_arg "Engine.run: buffer_capacity < 1";
   if config.max_cycles < 1 then invalid_arg "Engine.run: max_cycles < 1";
   (match config.recovery with
@@ -220,6 +220,93 @@ let run ?(config = default_config) ?probe rt sched =
     m.hold <- h;
     m.hold_fresh <- h > 0
   in
+  (* -- sanitizer: re-derive the structural invariants from the full state
+        at the end of every cycle (see Sanitizer's doc for the code table).
+        Pure observation; a sanitized run takes the same decisions. -- *)
+  let sanitizer = match sanitizer with Some s -> Some s | None -> Sanitizer.current () in
+  (match sanitizer with Some s -> Sanitizer.note_run s | None -> ());
+  let sanitize t =
+    match sanitizer with
+    | None -> ()
+    | Some san ->
+      Sanitizer.note_cycle san;
+      let ctx = [ ("algorithm", Routing.name rt); ("cycle", string_of_int t) ] in
+      let viol code m msg =
+        Sanitizer.record san
+          (Diagnostic.error code (Diagnostic.Message m.spec.Schedule.ms_label) msg ~context:ctx)
+      in
+      Array.iter
+        (fun m ->
+          let k = Array.length m.path in
+          let buffered = ref 0 in
+          for i = 0 to k - 1 do
+            let n = m.occ.(i) in
+            buffered := !buffered + n;
+            if n < 0 || n > cap then
+              viol "E102" m
+                (Printf.sprintf "buffer occupancy %d outside [0, %d] at path position %d" n cap i);
+            if n > 0 then begin
+              if owner.(m.path.(i)) <> m.idx then
+                viol "E102" m
+                  (Printf.sprintf "flits buffered on %s which the message does not own"
+                     (Topology.channel_name topo m.path.(i)));
+              if i < m.released_up_to || i > m.head then
+                viol "E103" m
+                  (Printf.sprintf
+                     "flits at path position %d outside the live window [%d, %d]" i
+                     m.released_up_to (min m.head (k - 1)))
+            end
+          done;
+          if m.gone = None && m.injected <> m.consumed + !buffered then
+            viol "E101" m
+              (Printf.sprintf "flit conservation broken: injected %d <> consumed %d + buffered %d"
+                 m.injected m.consumed !buffered);
+          let release_bound = if m.head = k then k else max m.head 0 in
+          if m.released_up_to < 0 || m.released_up_to > release_bound then
+            viol "E103" m
+              (Printf.sprintf "release watermark %d outside [0, %d]" m.released_up_to
+                 release_bound);
+          if m.waiting_for >= 0 then begin
+            if not (Hashtbl.mem wait_since (m.waiting_for, m.idx)) then
+              viol "E104" m
+                (Printf.sprintf "waiting for %s with no seniority entry"
+                   (Topology.channel_name topo m.waiting_for));
+            if wanted m <> Some m.waiting_for then
+              viol "E104" m
+                (Printf.sprintf "wait entry on %s but the message no longer wants it"
+                   (Topology.channel_name topo m.waiting_for))
+          end;
+          match config.recovery with
+          | Some r when m.gone = None ->
+            if m.retries > r.retry_limit then
+              viol "E105" m
+                (Printf.sprintf "live message has %d retries, over the limit %d" m.retries
+                   r.retry_limit);
+            if active m && t - m.last_progress >= r.watchdog then
+              viol "E105" m
+                (Printf.sprintf
+                   "watchdog bound broken: no progress since cycle %d (watchdog %d)"
+                   m.last_progress r.watchdog)
+          | Some _ | None -> ())
+        marr;
+      Hashtbl.iter
+        (fun (c, i) _ ->
+          if i < 0 || i >= nmsg || marr.(i).waiting_for <> c then
+            Sanitizer.record san
+              (Diagnostic.error "E104" (Diagnostic.Channel c)
+                 (Printf.sprintf "stale seniority entry for message index %d" i)
+                 ~context:ctx))
+        wait_since;
+      Array.iteri
+        (fun c own ->
+          if own >= 0 then
+            let m = marr.(own) in
+            if not (Array.exists (fun pc -> pc = c) m.path) then
+              viol "E102" m
+                (Printf.sprintf "owns %s which is not on its path"
+                   (Topology.channel_name topo c)))
+        owner
+  in
   (* abort-and-drain: release every held channel, drop buffered flits, and
      return the message to its pre-injection state *)
   let drain m =
@@ -279,7 +366,7 @@ let run ?(config = default_config) ?probe rt sched =
     Array.iter
       (fun m ->
         match wanted m with
-        | Some c when eligible m ->
+        | Some c when eligible m && owner.(c) <> m.idx ->
           if m.waiting_for <> c then begin
             if m.waiting_for >= 0 then Hashtbl.remove wait_since (m.waiting_for, m.idx);
             m.waiting_for <- c;
@@ -289,6 +376,10 @@ let run ?(config = default_config) ?probe rt sched =
              seniority for when the stall clears *)
           if not (Fault.down faults c t) then Hashtbl.replace requested c ()
         | Some _ | None ->
+          (* not requesting -- including the case where the message already
+             owns the channel it wants and its hop is merely fault-deferred:
+             an owner is not a waiter, so it must not hold a seniority entry
+             (the sanitizer's E104 check relies on this) *)
           if m.waiting_for >= 0 then begin
             Hashtbl.remove wait_since (m.waiting_for, m.idx);
             m.waiting_for <- -1
@@ -438,7 +529,8 @@ let run ?(config = default_config) ?probe rt sched =
             end
           end)
         marr);
-    (* -- end of cycle: probe and termination checks -- *)
+    (* -- end of cycle: sanitizer, probe, termination checks -- *)
+    sanitize t;
     (match probe with
     | None -> ()
     | Some f ->

@@ -142,10 +142,22 @@ type snapshot = {
 (** The observable network state at the end of one cycle, for probes:
     wait-for-graph analysis (Dally-Aoki), tracing, invariant checking. *)
 
-val run : ?config:config -> ?probe:(snapshot -> unit) -> Routing.t -> Schedule.t -> outcome
+val run :
+  ?config:config ->
+  ?probe:(snapshot -> unit) ->
+  ?sanitizer:Sanitizer.t ->
+  Routing.t ->
+  Schedule.t ->
+  outcome
 (** Simulate until every message is delivered (or, under faults/recovery,
     dropped or abandoned), the network is permanently blocked, or the cycle
     cutoff fires.
+
+    [sanitizer] arms per-cycle invariant checking (flit conservation, buffer
+    atomicity, the flit window, wait-for consistency, recovery monotonicity
+    -- codes E101-E105); when omitted, the process-wide sanitizer installed
+    via {!Sanitizer.install} (or the [WORMHOLE_SANITIZE] environment
+    variable) is used if any.  Sanitizing never changes the run's decisions.
 
     Fault semantics: a channel that is down ({!Fault.down}) accepts no new
     acquisition and moves no flits in or out; a permanently failed channel

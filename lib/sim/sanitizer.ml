@@ -1,0 +1,48 @@
+type t = {
+  fail_fast : bool;
+  limit : int;
+  mutable diags : Diagnostic.t list; (* newest first *)
+  mutable count : int;
+  mutable runs : int;
+  mutable cycles : int;
+}
+
+exception Violation of Diagnostic.t
+
+let create ?(fail_fast = false) ?(limit = 100) () =
+  if limit < 0 then invalid_arg "Sanitizer.create: limit < 0";
+  { fail_fast; limit; diags = []; count = 0; runs = 0; cycles = 0 }
+
+let record s d =
+  if s.fail_fast then raise (Violation d);
+  s.count <- s.count + 1;
+  if s.count <= s.limit then s.diags <- d :: s.diags
+
+let note_run s = s.runs <- s.runs + 1
+let note_cycle s = s.cycles <- s.cycles + 1
+
+let diagnostics s = List.rev s.diags
+let violation_count s = s.count
+let runs_checked s = s.runs
+let cycles_checked s = s.cycles
+let ok s = s.count = 0
+
+let reset s =
+  s.diags <- [];
+  s.count <- 0;
+  s.runs <- 0;
+  s.cycles <- 0
+
+let installed : t option ref = ref None
+
+let install s = installed := Some s
+let uninstall () = installed := None
+let current () = !installed
+
+(* WORMHOLE_SANITIZE=1 in the environment arms a fail-fast sanitizer for the
+   whole process, so `WORMHOLE_SANITIZE=1 dune runtest` checks every engine
+   run the test suite makes without any code change. *)
+let () =
+  match Sys.getenv_opt "WORMHOLE_SANITIZE" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ -> install (create ~fail_fast:true ())

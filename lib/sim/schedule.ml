@@ -28,7 +28,7 @@ let validate rt sched =
           Error (m.ms_label ^ ": negative hold")
         else
           match Routing.path rt m.ms_src m.ms_dst with
-          | Error e -> Error (m.ms_label ^ ": " ^ e)
+          | Error e -> Error (m.ms_label ^ ": " ^ Routing.error_message e)
           | Ok p ->
             (* the engine's occupancy model needs each channel to appear at
                most once on a message's path *)

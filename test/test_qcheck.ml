@@ -433,6 +433,44 @@ let prop_theorem5_matches_search =
         | Cycle_analysis.Needs_search _ -> true)
       | _ -> QCheck.assume_fail ())
 
+(* ---- fault-plan parse/print round-trip ---- *)
+
+(* Parenthesized mesh node names ("n(0,2)") carry commas, and vcs:2 puts
+   "#1" suffixes on half the channels, so this exercises every corner of
+   the plan grammar the printer can emit. *)
+let plan_topo_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* pick = 0 -- 2 in
+      return
+        (match pick with
+        | 0 -> ("mesh-3x3-vc2", (Builders.mesh ~vcs:2 [ 3; 3 ]).Builders.topo)
+        | 1 -> ("figure1", (Paper_nets.figure1 ()).Paper_nets.topo)
+        | _ -> ("ring-5", (Builders.ring ~unidirectional:true 5).Builders.topo)))
+    ~print:fst
+
+let prop_fault_plan_roundtrip =
+  QCheck.Test.make ~name:"fault plan parse of print is the identity" ~count:(count 200)
+    QCheck.(pair plan_topo_gen (make Gen.(0 -- 100_000) ~print:string_of_int))
+    (fun ((_, topo), seed) ->
+      let rng = Rng.create seed in
+      let pick lo hi = lo + Rng.int rng (hi - lo + 1) in
+      let link_failures = pick 0 2 in
+      let stalls = pick 0 3 in
+      let drops =
+        match pick 0 2 with
+        | 0 -> []
+        | 1 -> [ "m1" ]
+        | _ -> [ "m1"; "worm-2" ]
+      in
+      let plan = Fault.random ~link_failures ~stalls ~max_stall:9 ~drops ~horizon:50 rng topo in
+      (* an empty plan prints as the unparseable "(no faults)" placeholder *)
+      QCheck.assume (not (Fault.is_empty plan));
+      let printed = Format.asprintf "%a" (Fault.pp topo) plan in
+      match Fault.parse topo printed with
+      | Ok plan' -> Fault.events plan' = Fault.events plan
+      | Error e -> QCheck.Test.fail_reportf "parse of %S failed: %s" printed e)
+
 let suite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -449,7 +487,7 @@ let () =
           prop_buffer_capacity_preserves_delivery ];
       suite "fault-recovery"
         [ prop_recovery_terminates_mesh; prop_recovery_terminates_ring;
-          prop_faulted_runs_deterministic ];
+          prop_faulted_runs_deterministic; prop_fault_plan_roundtrip ];
       suite "random-nets"
         [ prop_random_net_routing_valid; prop_random_net_cdg_sound;
           prop_random_net_acyclic_implies_safe ];

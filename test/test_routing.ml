@@ -236,13 +236,24 @@ let test_routing_error_reporting () =
         | Routing.From ch -> if ch = ab then Some ba else Some ab)
   in
   (match Routing.path rt a c with
-  | Error e -> check cb "mentions livelock" true (String.length e > 0)
+  | Error { Routing.e_kind = Routing.Livelock _; _ } as r -> (
+    match r with
+    | Error e -> check cb "mentions livelock" true (String.length (Routing.error_message e) > 0)
+    | Ok _ -> ())
+  | Error e -> Alcotest.fail ("wrong error kind: " ^ Routing.error_message e)
   | Ok _ -> Alcotest.fail "expected livelock detection");
-  (* consuming at the wrong node must be diagnosed *)
+  (* consuming at the wrong node must be diagnosed, with the typed kind *)
   let rt2 = Routing.create ~name:"early" t (fun _ _ -> None) in
-  match Routing.path rt2 a c with
-  | Error e -> check cb "mentions consumed" true (String.length e > 0)
-  | Ok _ -> Alcotest.fail "expected consumption error"
+  (match Routing.path rt2 a c with
+  | Error { Routing.e_kind = Routing.Consumed_early { at }; _ } ->
+    check ci "consumed at source" a at
+  | Error e -> Alcotest.fail ("wrong error kind: " ^ Routing.error_message e)
+  | Ok _ -> Alcotest.fail "expected consumption error");
+  (* path_exn raises the typed exception *)
+  match Routing.path_exn rt2 a c with
+  | exception Routing.Route_error e ->
+    check cb "exception carries source" true (e.Routing.e_src = a && e.Routing.e_dst = c)
+  | _ -> Alcotest.fail "expected Route_error"
 
 let test_iter_realized () =
   let rt = Dimension_order.mesh (Builders.mesh [ 3; 3 ]) in
