@@ -6,9 +6,17 @@
    - classify/*   the Theorem-2..5 classifiers
    - sim/*        the flit-level engine on substrate workloads (EXP-S1/S2)
    - search/*     the adversarial schedule searches (EXP-F1, EXP-T4, EXP-T5)
+   - sweep/*      the same searches through the Wr_pool parallel sweep,
+                  sequential vs parallel
    - family/*     the Section-6 minimum-delay probe (EXP-G)
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Options:
+     --quick               smoke subset with a small measurement quota (CI)
+     --json                also write BENCH_<date>.json with ns/run per case
+     --campaign-json FILE  splice a wormhole-campaign/1 JSON (from
+                           run_experiments --json) into the bench JSON;
+                           repeatable *)
 
 module Sim_measure = Measure (* keep wr_workload's Measure reachable under open Bechamel *)
 
@@ -53,47 +61,76 @@ let fig2_space =
   let templates = List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents in
   Explorer.default_space templates
 
-let tests =
-  Test.make_grouped ~name:"wormhole"
-    [
-      Test.make ~name:"cdg/build-mesh8x8" (Staged.stage (fun () -> Cdg.build mesh8_rt));
-      Test.make ~name:"cdg/build-figure1" (Staged.stage (fun () -> Cdg.build fig1_rt));
+let entries =
+  [
+    ("cdg/build-mesh8x8", Test.make ~name:"cdg/build-mesh8x8" (Staged.stage (fun () -> Cdg.build mesh8_rt)));
+    ("cdg/build-figure1", Test.make ~name:"cdg/build-figure1" (Staged.stage (fun () -> Cdg.build fig1_rt)));
+    ( "cdg/cycles-figure1",
       Test.make ~name:"cdg/cycles-figure1"
-        (Staged.stage (fun () -> Cdg.elementary_cycles fig1_cdg));
+        (Staged.stage (fun () -> Cdg.elementary_cycles fig1_cdg)) );
+    ( "cdg/cycles-torus5x5",
       Test.make ~name:"cdg/cycles-torus5x5"
         (Staged.stage
            (let cdg = Cdg.build torus5_rt in
-            fun () -> Cdg.elementary_cycles cdg));
+            fun () -> Cdg.elementary_cycles cdg)) );
+    ( "classify/figure1-cycle",
       Test.make ~name:"classify/figure1-cycle"
         (Staged.stage
            (let cycle = List.hd (Cdg.elementary_cycles fig1_cdg) in
-            fun () -> Cycle_analysis.classify fig1_cdg cycle));
+            fun () -> Cycle_analysis.classify fig1_cdg cycle)) );
+    ( "classify/theorem5-figure3c",
       Test.make ~name:"classify/theorem5-figure3c"
         (Staged.stage
            (let cycle = List.hd (Cdg.elementary_cycles fig3c_cdg) in
-            fun () -> Cycle_analysis.classify fig3c_cdg cycle));
+            fun () -> Cycle_analysis.classify fig3c_cdg cycle)) );
+    ( "properties/coherent-mesh8x8",
       Test.make ~name:"properties/coherent-mesh8x8"
-        (Staged.stage (fun () -> Properties.coherent mesh8_rt));
+        (Staged.stage (fun () -> Properties.coherent mesh8_rt)) );
+    ( "sim/mesh8x8-uniform-300c",
       Test.make ~name:"sim/mesh8x8-uniform-300c"
-        (Staged.stage (fun () -> Sim_measure.run mesh8_rt mesh_schedule));
+        (Staged.stage (fun () -> Sim_measure.run mesh8_rt mesh_schedule)) );
+    ( "sim/torus5x5-tornado-deadlock",
       Test.make ~name:"sim/torus5x5-tornado-deadlock"
-        (Staged.stage (fun () -> Engine.run torus5_rt tornado_schedule));
+        (Staged.stage (fun () -> Engine.run torus5_rt tornado_schedule)) );
+    (* the raw engine with no probe and no sanitizer: the PR-3 hot path
+       (precomputed hold arrays, indexed wait_since, stamped request
+       scratch) is exactly what this measures *)
+    ( "sim/engine-hotpath",
+      Test.make ~name:"sim/engine-hotpath"
+        (Staged.stage (fun () -> Engine.run mesh8_rt mesh_schedule)) );
+    ( "search/figure1-order-sweep",
       Test.make ~name:"search/figure1-order-sweep"
-        (Staged.stage (fun () -> Explorer.explore fig1_rt fig1_quick_space));
+        (Staged.stage (fun () -> Explorer.explore fig1_rt fig1_quick_space)) );
+    ( "search/figure2-witness",
       Test.make ~name:"search/figure2-witness"
-        (Staged.stage (fun () -> Explorer.explore fig2_rt fig2_space));
+        (Staged.stage (fun () -> Explorer.explore fig2_rt fig2_space)) );
+    (* the same sweep through the Wr_pool, pinned sequential vs parallel;
+       with one domain the two are the identical code path, so any gap on a
+       multicore host is the pool's win (or overhead) *)
+    ( "sweep/figure2-seq",
+      Test.make ~name:"sweep/figure2-seq"
+        (Staged.stage (fun () -> Explorer.explore ~domains:1 fig2_rt fig2_space)) );
+    ( "sweep/figure2-parallel",
+      Test.make ~name:"sweep/figure2-parallel"
+        (Staged.stage
+           (let d = Wr_pool.default_domains () in
+            fun () -> Explorer.explore ~domains:d fig2_rt fig2_space)) );
+    ( "family/min-delay-p1",
       Test.make ~name:"family/min-delay-p1"
         (Staged.stage
            (let net = Paper_nets.family 1 in
-            fun () -> Min_delay.search ~max_h:2 net));
+            fun () -> Min_delay.search ~max_h:2 net)) );
+    ( "classify/message-flow-figure1",
       Test.make ~name:"classify/message-flow-figure1"
-        (Staged.stage (fun () -> Message_flow.analyze fig1_rt));
+        (Staged.stage (fun () -> Message_flow.analyze fig1_rt)) );
+    ( "classify/duato-mesh4x4",
       Test.make ~name:"classify/duato-mesh4x4"
         (Staged.stage
            (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
             let ad = Adaptive.duato_mesh mesh2 in
             let escape = Adaptive.escape_of_duato_mesh mesh2 in
-            fun () -> Duato.check ad ~escape));
+            fun () -> Duato.check ad ~escape)) );
+    ( "sim/adaptive-duato-stress",
       Test.make ~name:"sim/adaptive-duato-stress"
         (Staged.stage
            (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
@@ -104,31 +141,126 @@ let tests =
               Traffic.bernoulli_schedule rng pattern ~coords:mesh2 ~rate:0.05 ~length:4
                 ~horizon:150
             in
-            fun () -> Adaptive_engine.run ad sched));
+            fun () -> Adaptive_engine.run ad sched)) );
+    ( "search/model-check-figure1",
       Test.make ~name:"search/model-check-figure1"
         (Staged.stage
            (let net = Paper_nets.figure1 () in
-            fun () -> Model_checker.check_net ~extra:[ 0 ] net));
-      (* ablation: the arbitration-adversary dimension of the search *)
+            fun () -> Model_checker.check_net ~extra:[ 0 ] net)) );
+    (* ablation: the arbitration-adversary dimension of the search *)
+    ( "search/figure2-fifo-only",
       Test.make ~name:"search/figure2-fifo-only"
         (Staged.stage
            (let templates =
               List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents
             in
             let sp = { (Explorer.default_space templates) with priorities = Explorer.Fifo_only } in
-            fun () -> Explorer.explore fig2_rt sp));
-    ]
+            fun () -> Explorer.explore fig2_rt sp)) );
+  ]
 
-let benchmark () =
+(* fast cases that still cover the PR-3 surfaces: CDG machinery, the engine
+   hot path, and the pooled sweep both sequential and parallel *)
+let smoke =
+  [
+    "cdg/build-figure1";
+    "cdg/cycles-figure1";
+    "sim/engine-hotpath";
+    "sim/torus5x5-tornado-deadlock";
+    "sweep/figure2-seq";
+    "sweep/figure2-parallel";
+  ]
+
+let benchmark ~quick =
+  let chosen =
+    if quick then List.filter (fun (n, _) -> List.mem n smoke) entries else entries
+  in
+  let tests = Test.make_grouped ~name:"wormhole" (List.map snd chosen) in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.1) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   Analyze.merge ols instances results
 
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> "unknown"
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+let write_json ~quick ~campaigns rows =
+  let date = today () in
+  let path = Printf.sprintf "BENCH_%s.json" date in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"wormhole-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"date\": %S,\n" date);
+  Buffer.add_string buf (Printf.sprintf "  \"commit\": %S,\n" (git_commit ()));
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" (Wr_pool.default_domains ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_recommended_domains\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf "  \"benchmarks\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %s%s\n" name
+           (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+           (if i = n - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"campaigns\": [\n";
+  let nc = List.length campaigns in
+  List.iteri
+    (fun i body ->
+      (* splice the wormhole-campaign/1 document verbatim, reindented *)
+      String.split_on_char '\n' (String.trim body)
+      |> List.iter (fun line -> Buffer.add_string buf (Printf.sprintf "    %s\n" line));
+      if i <> nc - 1 then Buffer.add_string buf "    ,\n")
+    campaigns;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 let () =
-  let results = benchmark () in
+  let quick = ref false and json = ref false and campaigns = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--campaign-json" :: path :: rest ->
+      campaigns := read_file path :: !campaigns;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: bench [--quick] [--json] [--campaign-json FILE]... (unknown arg %s)\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let results = benchmark ~quick:!quick in
   let table = Table.create ~aligns:[ Table.Left; Table.Right ] [ "benchmark"; "time/run" ] in
   let rows = ref [] in
   Hashtbl.iter
@@ -143,6 +275,7 @@ let () =
           rows := (name, est) :: !rows)
         tbl)
     results;
+  let rows = List.sort compare !rows in
   let human ns =
     if Float.is_nan ns then "n/a"
     else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
@@ -150,7 +283,9 @@ let () =
     else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
     else Printf.sprintf "%.2f s" (ns /. 1e9)
   in
-  List.iter
-    (fun (name, est) -> Table.add_row table [ name; human est ])
-    (List.sort compare !rows);
-  Table.print table
+  List.iter (fun (name, est) -> Table.add_row table [ name; human est ]) rows;
+  Table.print table;
+  if !json then begin
+    let path = write_json ~quick:!quick ~campaigns:(List.rev !campaigns) rows in
+    Printf.printf "\nbench JSON written to %s\n" path
+  end

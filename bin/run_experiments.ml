@@ -1,8 +1,11 @@
 (* Regenerate every paper artifact (EXPERIMENTS.md is the captured output).
 
-   Usage: experiments [EXPERIMENT...] [--quick] [--max-p N]
+   Usage: experiments [EXPERIMENT...] [--quick] [--max-p N] [--domains N]
+                      [--json FILE]
 
-   With no arguments, runs the full suite. *)
+   With no arguments, runs the full suite.  The claim output is byte-
+   identical for any --domains value; the timing table at the end is the
+   only wall-clock-dependent section. *)
 
 open Cmdliner
 
@@ -42,7 +45,69 @@ let run_one ~quick ~max_p ppf = function
   | `Fault -> Experiments.exp_fault ~quick ppf
   | `Lint -> Experiments.exp_lint ~quick ppf
 
-let main names quick max_p sanitize =
+type timing = {
+  tm_name : string;
+  tm_wall : float;  (* seconds *)
+  tm_runs : int;  (* engine runs started by this experiment *)
+}
+
+let runs_per_sec tm = if tm.tm_wall > 0. then float_of_int tm.tm_runs /. tm.tm_wall else 0.
+
+let timing_table timings =
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "experiment"; "wall (s)"; "engine runs"; "runs/sec" ]
+  in
+  List.iter
+    (fun tm ->
+      Table.add_row table
+        [
+          tm.tm_name;
+          Printf.sprintf "%.2f" tm.tm_wall;
+          string_of_int tm.tm_runs;
+          Printf.sprintf "%.0f" (runs_per_sec tm);
+        ])
+    timings;
+  let total_wall = List.fold_left (fun acc tm -> acc +. tm.tm_wall) 0. timings in
+  let total_runs = List.fold_left (fun acc tm -> acc + tm.tm_runs) 0 timings in
+  Table.add_row table
+    [
+      "total";
+      Printf.sprintf "%.2f" total_wall;
+      string_of_int total_runs;
+      Printf.sprintf "%.0f"
+        (if total_wall > 0. then float_of_int total_runs /. total_wall else 0.);
+    ];
+  Table.render table
+
+let write_json path ~quick ~domains ~claims ~failed timings =
+  let buf = Buffer.create 1024 in
+  let total_wall = List.fold_left (fun acc tm -> acc +. tm.tm_wall) 0. timings in
+  let total_runs = List.fold_left (fun acc tm -> acc + tm.tm_runs) 0 timings in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"wormhole-campaign/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf (Printf.sprintf "  \"claims\": %d,\n" claims);
+  Buffer.add_string buf (Printf.sprintf "  \"failed\": %d,\n" failed);
+  Buffer.add_string buf (Printf.sprintf "  \"wall_s\": %.3f,\n" total_wall);
+  Buffer.add_string buf (Printf.sprintf "  \"engine_runs\": %d,\n" total_runs);
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i tm ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %S, \"wall_s\": %.3f, \"runs\": %d, \"runs_per_s\": %.0f}%s\n"
+           tm.tm_name tm.tm_wall tm.tm_runs (runs_per_sec tm)
+           (if i = List.length timings - 1 then "" else ",")))
+    timings;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let main names quick max_p sanitize domains json =
+  (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
   let ppf = Format.std_formatter in
   let sanitizer =
     if sanitize then begin
@@ -54,19 +119,38 @@ let main names quick max_p sanitize =
   in
   let selected =
     match names with
-    | [] -> List.map snd known
+    | [] -> known
     | names ->
       List.map
         (fun n ->
           match List.assoc_opt n known with
-          | Some e -> e
+          | Some e -> (n, e)
           | None ->
             Printf.eprintf "unknown experiment %s (known: %s)\n" n
               (String.concat ", " (List.map fst known));
             exit 2)
         names
   in
-  let rows = List.concat_map (run_one ~quick ~max_p ppf) selected in
+  let timings = ref [] in
+  let rows =
+    List.concat_map
+      (fun (name, e) ->
+        let t0 = Unix.gettimeofday () in
+        let runs0 = Engine.run_count () in
+        let rows = run_one ~quick ~max_p ppf e in
+        Format.pp_print_flush ppf ();
+        let tm =
+          {
+            tm_name = name;
+            tm_wall = Unix.gettimeofday () -. t0;
+            tm_runs = Engine.run_count () - runs0;
+          }
+        in
+        timings := tm :: !timings;
+        rows)
+      selected
+  in
+  let timings = List.rev !timings in
   Format.fprintf ppf "@\n=== Summary ===@\n%s@?" (Experiments.summary_table rows);
   let failed = List.filter (fun r -> not r.Experiments.x_ok) rows in
   if failed <> [] then begin
@@ -85,7 +169,18 @@ let main names quick max_p sanitize =
         (Sanitizer.diagnostics s);
       exit 1
     end);
-  Format.fprintf ppf "@\nall %d claims reproduced@." (List.length rows)
+  Format.fprintf ppf "@\nall %d claims reproduced@." (List.length rows);
+  (* wall-clock-dependent section last, so everything above stays byte-
+     identical across runs and domain counts *)
+  Format.fprintf ppf "@\n=== Timing (domains=%d) ===@\n%s@?" (Wr_pool.default_domains ())
+    (timing_table timings);
+  match json with
+  | None -> ()
+  | Some path ->
+    write_json path ~quick
+      ~domains:(Wr_pool.default_domains ())
+      ~claims:(List.length rows) ~failed:(List.length failed) timings;
+    Format.fprintf ppf "@\ntiming JSON written to %s@." path
 
 let names_arg =
   let doc = "Experiments to run (default: all).  One of exp-f1, exp-t2, exp-corollaries, \
@@ -106,9 +201,21 @@ let sanitize_arg =
              checks E101-E105); report violations at the end and exit nonzero on any." in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
 
+let domains_arg =
+  let doc = "Domains for the parallel sweeps (default: the WORMHOLE_DOMAINS environment \
+             variable, else the machine's recommended domain count).  1 selects the exact \
+             sequential path; claim output is byte-identical for every value." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc = "Write per-experiment wall-clock and runs/sec timing to $(docv) as JSON \
+             (schema wormhole-campaign/1)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the paper's figures and theorem checks" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg)
+  Cmd.v info
+    Term.(const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg $ domains_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -53,8 +53,12 @@ let run_corpus json =
       results;
   if failed = [] then 0 else 1
 
-let lint_entries json fault_spec selection =
+let lint_entries json fault_spec all_flag selection =
   let all = Registry.entries () in
+  (if all_flag && selection <> [] then begin
+     Printf.eprintf "--all and an explicit selection are mutually exclusive\n";
+     exit 2
+   end);
   let chosen =
     match selection with
     | [] -> all
@@ -85,7 +89,10 @@ let lint_entries json fault_spec selection =
     in
     (e, topo, Diagnostic.by_severity (diags @ fault_diags))
   in
-  let results = List.map lint_one chosen in
+  (* fan the per-algorithm lints over the pool; Wr_pool.map returns results
+     in input order, so diagnostics print in registry-index order for any
+     domain count *)
+  let results = Wr_pool.map lint_one chosen in
   let num_errors =
     List.fold_left (fun n (_, _, ds) -> n + List.length (Diagnostic.errors ds)) 0 results
   in
@@ -108,13 +115,29 @@ let lint_entries json fault_spec selection =
       results;
   if num_errors = 0 then 0 else 1
 
-let main list corpus json fault_spec selection =
+let main list corpus json fault_spec all_flag domains selection =
+  (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
   if list then list_registry ()
   else if corpus then run_corpus json
-  else lint_entries json fault_spec selection
+  else lint_entries json fault_spec all_flag selection
 
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List the registered algorithms and exit.")
+
+let all_flag =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Lint the whole registry (the default when no algorithms are named), fanning the \
+              per-algorithm lints over the parallel pool; diagnostics keep registry order.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Domains for the lint fan-out (default: WORMHOLE_DOMAINS, else the machine's \
+              recommended domain count).  Output is identical for every value.")
 
 let corpus_flag =
   Arg.(
@@ -141,6 +164,8 @@ let cmd =
   let doc = "static lints for wormhole routing algorithms and fault plans" in
   Cmd.v
     (Cmd.info "wormlint" ~doc)
-    Term.(const main $ list_flag $ corpus_flag $ json_flag $ faults_arg $ selection_arg)
+    Term.(
+      const main $ list_flag $ corpus_flag $ json_flag $ faults_arg $ all_flag $ domains_arg
+      $ selection_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -367,17 +367,27 @@ let exp_s1 ?(quick = false) ppf =
   header ppf "EXP-S1: substrate validation (torus/mesh deadlock behaviour)";
   let t1 = Builders.torus [ 5; 5 ] in
   let t2 = Builders.torus ~vcs:2 [ 5; 5 ] in
-  let run name rt coords =
-    let pattern = Traffic.tornado coords in
-    let sched = Traffic.permutation_schedule pattern ~coords ~length:8 in
-    let rep = Measure.run rt sched in
-    Format.fprintf ppf "%s: %a@\n" name Measure.pp rep;
-    rep
-  in
-  let novc = run "torus-novc " (Dimension_order.torus t1) t1 in
-  let dateline = run "torus-vc2  " (Dimension_order.torus ~datelines:true t2) t2 in
   let mesh = Builders.mesh [ 5; 5 ] in
-  let meshrep = run "mesh-xy    " (Dimension_order.mesh mesh) mesh in
+  (* independent single runs: fan out on the pool, print in order *)
+  let cases =
+    [ ("torus-novc ", Dimension_order.torus t1, t1);
+      ("torus-vc2  ", Dimension_order.torus ~datelines:true t2, t2);
+      ("mesh-xy    ", Dimension_order.mesh mesh, mesh) ]
+  in
+  let reps =
+    Wr_pool.map
+      (fun (_, rt, coords) ->
+        let pattern = Traffic.tornado coords in
+        let sched = Traffic.permutation_schedule pattern ~coords ~length:8 in
+        Measure.run rt sched)
+      cases
+  in
+  List.iter2
+    (fun (name, _, _) rep -> Format.fprintf ppf "%s: %a@\n" name Measure.pp rep)
+    cases reps;
+  let novc, dateline, meshrep =
+    match reps with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
   [
     row "S1/torus-novc" "torus e-cube without VCs deadlocks under tornado permutation"
       (if novc.Measure.deadlocked then "deadlock" else "delivered") novc.Measure.deadlocked;
@@ -400,31 +410,46 @@ let exp_s2 ?(quick = false) ppf =
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
       [ "pattern"; "rate"; "avg lat"; "p95 lat"; "thr (f/c)" ]
   in
+  (* every (pattern, rate) run is independent and seeds its own Rng: fan
+     out on the pool, then fold sequentially so the monotonicity check and
+     the table keep their original order *)
+  let jobs =
+    List.concat_map
+      (fun (pname, mk) -> List.map (fun rate -> (pname, mk, rate)) rates)
+      [
+        ("uniform", fun rng -> Traffic.uniform rng coords);
+        ("transpose", fun _ -> Traffic.transpose coords);
+      ]
+  in
+  let reps =
+    Wr_pool.map
+      (fun (_, mk, rate) ->
+        let rng = Rng.create 42 in
+        let pattern = mk rng in
+        let sched = Traffic.bernoulli_schedule rng pattern ~coords ~rate ~length:4 ~horizon in
+        Measure.run rt sched)
+      jobs
+  in
   let monotone = ref true in
-  List.iter
-    (fun (pname, mk) ->
-      let prev = ref 0.0 in
-      List.iter
-        (fun rate ->
-          let rng = Rng.create 42 in
-          let pattern = mk rng in
-          let sched = Traffic.bernoulli_schedule rng pattern ~coords ~rate ~length:4 ~horizon in
-          let rep = Measure.run rt sched in
-          if rep.Measure.avg_latency < !prev -. 2.0 then monotone := false;
-          prev := rep.Measure.avg_latency;
-          Table.add_row table
-            [
-              pname;
-              Printf.sprintf "%.3f" rate;
-              Printf.sprintf "%.1f" rep.Measure.avg_latency;
-              Printf.sprintf "%.1f" rep.Measure.p95_latency;
-              Printf.sprintf "%.3f" rep.Measure.throughput;
-            ])
-        rates)
-    [
-      ("uniform", fun rng -> Traffic.uniform rng coords);
-      ("transpose", fun _ -> Traffic.transpose coords);
-    ];
+  let prev = ref 0.0 in
+  let last_pattern = ref "" in
+  List.iter2
+    (fun (pname, _, rate) rep ->
+      if pname <> !last_pattern then begin
+        last_pattern := pname;
+        prev := 0.0
+      end;
+      if rep.Measure.avg_latency < !prev -. 2.0 then monotone := false;
+      prev := rep.Measure.avg_latency;
+      Table.add_row table
+        [
+          pname;
+          Printf.sprintf "%.3f" rate;
+          Printf.sprintf "%.1f" rep.Measure.avg_latency;
+          Printf.sprintf "%.1f" rep.Measure.p95_latency;
+          Printf.sprintf "%.3f" rep.Measure.throughput;
+        ])
+    jobs reps;
   Format.fprintf ppf "%s" (Table.render table);
   [
     row "S2/latency-load" "latency grows (weakly) with offered load"
@@ -674,8 +699,10 @@ let exp_fault ?(quick = false) ppf =
       [ ("figure1", Paper_nets.figure1 ()); ("figure2", Paper_nets.figure2 ());
         ("figure3c", Paper_nets.figure3 `C); ("figure3f", Paper_nets.figure3 `F) ]
   in
-  let campaign_rows =
-    List.map
+  (* each net's seeded campaign is independent: simulate on the pool, then
+     print and build the claim rows in order *)
+  let campaign =
+    Wr_pool.map
       (fun (name, net) ->
         let rt = Cd_algorithm.of_net net in
         let sched = intents_schedule net in
@@ -687,8 +714,14 @@ let exp_fault ?(quick = false) ppf =
         let config = { Engine.default_config with faults; recovery = Some recovery } in
         let out = Engine.run ~config rt sched in
         let replay = Engine.run ~config rt sched in
-        Format.fprintf ppf "%s under %a:@\n  %a@\n" name (Fault.pp net.topo) faults
-          (Engine.pp_outcome net.topo) out;
+        (name, net, faults, out, replay))
+      nets
+  in
+  let campaign_rows =
+    List.map
+      (fun (name, net, faults, out, replay) ->
+        Format.fprintf ppf "%s under %a:@\n  %a@\n" name (Fault.pp net.Paper_nets.topo) faults
+          (Engine.pp_outcome net.Paper_nets.topo) out;
         let bounded =
           match out with
           | Engine.All_delivered _ -> true
@@ -702,7 +735,7 @@ let exp_fault ?(quick = false) ppf =
           "seeded faults + recovery terminate deterministically with bounded retries"
           (brief out ^ if out = replay then "" else " [REPLAY DIVERGED]")
           (bounded && out = replay))
-      nets
+      campaign
   in
   (* 2. recovery disabled: a permanent failure on a used channel blocks the
      run permanently, reported exactly like a protocol deadlock.  Failing

@@ -144,15 +144,31 @@ let avoiding ?name ~failed base =
     done
   done;
   (* does the base algorithm's continuation from [input] reach [dest]
-     without touching a failed channel?  Memoized per (input, dest). *)
+     without touching a failed channel?  Precomputed eagerly for every
+     (input, dest) pair: the routing's query function must be read-only,
+     because parallel sweep domains share it.  0 = unknown, 1 = clean,
+     2 = dirty. *)
   let limit = (4 * nchan) + 4 in
-  let clean_memo = Hashtbl.create 256 in
+  let memo_inject = Array.make_matrix n n 0 in
+  let memo_from = Array.make_matrix (max nchan 1) n 0 in
+  let memo input dest =
+    match input with
+    | Inject v -> memo_inject.(v).(dest)
+    | From c -> memo_from.(c).(dest)
+  in
+  let set_memo input dest b =
+    let v = if b then 1 else 2 in
+    match input with
+    | Inject x -> memo_inject.(x).(dest) <- v
+    | From c -> memo_from.(c).(dest) <- v
+  in
   let rec clean input dest steps =
     if steps > limit then false
     else
-      match Hashtbl.find_opt clean_memo (input, dest) with
-      | Some b -> b
-      | None ->
+      match memo input dest with
+      | 1 -> true
+      | 2 -> false
+      | _ ->
         let here = current_node topo input in
         let b =
           match base.f input dest with
@@ -162,13 +178,22 @@ let avoiding ?name ~failed base =
             && Topology.src topo c = here
             && clean (From c) dest (steps + 1)
         in
-        Hashtbl.replace clean_memo (input, dest) b;
+        set_memo input dest b;
         b
   in
+  for dest = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      ignore (clean (Inject v) dest 0)
+    done;
+    for c = 0 to nchan - 1 do
+      ignore (clean (From c) dest 0)
+    done
+  done;
+  let clean input dest = clean input dest 0 in
   let f input dest =
     let here = current_node topo input in
     if here = dest then None
-    else if clean input dest 0 then base.f input dest
+    else if clean input dest then base.f input dest
     else if dist.(here).(dest) = max_int then None (* unreachable: let [path] report it *)
     else
       (* first outgoing channel (insertion order) on a shortest degraded

@@ -94,7 +94,6 @@ let space_size sp =
   let offsets = List.fold_left (fun acc t -> acc * List.length t.t_offsets) 1 sp.messages in
   orders * prios * gaps * lengths * holds * offsets * List.length sp.buffers
 
-exception Found of witness
 exception Engine_bug of Diagnostic.t
 
 let engine_bug code ~rt ~sched ~cycle msg =
@@ -108,7 +107,12 @@ let engine_bug code ~rt ~sched ~cycle msg =
   in
   raise (Engine_bug (Diagnostic.error ~context code (Diagnostic.Algorithm (Routing.name rt)) msg))
 
-let explore ?(stop_at_first = true) rt sp =
+(* One task of the parallel sweep: a single (order, priority) cell of the
+   outer product, with the whole gap/length/offset/hold/buffer enumeration
+   run inside it. *)
+type task_result = { t_runs : int; t_witness : witness option }
+
+let explore ?(stop_at_first = true) ?domains rt sp =
   let n = List.length sp.messages in
   if n = 0 then invalid_arg "Explorer.explore: empty message set";
   List.iter
@@ -117,59 +121,86 @@ let explore ?(stop_at_first = true) rt sp =
         invalid_arg "Explorer.explore: template with empty candidate list")
     sp.messages;
   let templates = Array.of_list sp.messages in
-  let runs = ref 0 in
-  let last_witness = ref None in
-  let run ~order ~priority ~gap_choice ~len_choice ~hold_choice ~off_choice ~buffer =
-    let inject_time = Array.make n 0 in
-    let t = ref 0 in
-    Array.iteri
-      (fun j mi ->
-        if j > 0 then t := !t + gap_choice.(j - 1);
-        inject_time.(mi) <- !t + List.nth templates.(mi).t_offsets off_choice.(mi))
-      order;
-    let sched =
-      List.init n (fun mi ->
-          let tpl = templates.(mi) in
-          {
-            Schedule.ms_label = tpl.t_label;
-            ms_src = tpl.t_src;
-            ms_dst = tpl.t_dst;
-            ms_length = List.nth tpl.t_lengths len_choice.(mi);
-            ms_inject_at = inject_time.(mi);
-            ms_holds = List.nth tpl.t_holds hold_choice.(mi);
-          })
-    in
-    let arbitration =
-      match priority with
-      | None -> Engine.Fifo
-      | Some p -> Engine.Priority (Array.to_list (Array.map (fun mi -> templates.(mi).t_label) p))
-    in
-    let config =
-      { Engine.buffer_capacity = buffer; arbitration; switching = Engine.Wormhole;
-        max_cycles = sp.max_cycles; faults = Fault.empty; recovery = None }
-    in
-    incr runs;
-    match Engine.run ~config rt sched with
-    | Engine.Deadlock info ->
-      (* replay to confirm determinism before reporting *)
-      let confirmed =
-        match Engine.run ~config rt sched with
-        | Engine.Deadlock info' -> info'.Engine.d_cycle = info.Engine.d_cycle
-        | _ -> false
-      in
-      if not confirmed then
-        engine_bug "E090" ~rt ~sched ~cycle:info.Engine.d_cycle
-          "deadlock witness failed to replay: the engine is not deterministic";
-      if info.Engine.d_wait_cycle = [] then
-        engine_bug "E091" ~rt ~sched ~cycle:info.Engine.d_cycle
-          "reported deadlock has no wait-for cycle";
-      let w = { w_schedule = sched; w_config = config; w_info = info } in
-      last_witness := Some w;
-      if stop_at_first then raise (Found w)
-    | Engine.All_delivered _ | Engine.Cutoff _ | Engine.Recovered _ -> ()
-  in
   let gap_arr = Array.of_list sp.gaps in
-  let explore_assignments order priority =
+  (* All permutations of 0..n-1 in [Combinat.iter_permutations] order, so a
+     task index maps to exactly the (order, priority) pair the sequential
+     nesting would visit at that position. *)
+  let perms =
+    let acc = ref [] in
+    Combinat.iter_permutations (fun p -> acc := Array.copy p :: !acc) (Array.init n Fun.id);
+    Array.of_list (List.rev !acc)
+  in
+  let orders = if sp.try_all_orders then perms else [| Array.init n Fun.id |] in
+  let prios_per_order =
+    match sp.priorities with
+    | All_permutations -> Array.length perms
+    | Fifo_only | Follow_order -> 1
+  in
+  let ntasks = Array.length orders * prios_per_order in
+  let exception Task_done in
+  let run_task ~stop ti =
+    let order = orders.(ti / prios_per_order) in
+    let priority =
+      match sp.priorities with
+      | Fifo_only -> None
+      | Follow_order -> Some order
+      | All_permutations -> Some perms.(ti mod prios_per_order)
+    in
+    let runs = ref 0 in
+    let witness = ref None in
+    let run ~gap_choice ~len_choice ~hold_choice ~off_choice ~buffer =
+      (* a lower-indexed task has already found a witness: this task's
+         partial tally is discarded by the reduce, so just bail out *)
+      if stop () then raise Task_done;
+      let inject_time = Array.make n 0 in
+      let t = ref 0 in
+      Array.iteri
+        (fun j mi ->
+          if j > 0 then t := !t + gap_choice.(j - 1);
+          inject_time.(mi) <- !t + List.nth templates.(mi).t_offsets off_choice.(mi))
+        order;
+      let sched =
+        List.init n (fun mi ->
+            let tpl = templates.(mi) in
+            {
+              Schedule.ms_label = tpl.t_label;
+              ms_src = tpl.t_src;
+              ms_dst = tpl.t_dst;
+              ms_length = List.nth tpl.t_lengths len_choice.(mi);
+              ms_inject_at = inject_time.(mi);
+              ms_holds = List.nth tpl.t_holds hold_choice.(mi);
+            })
+      in
+      let arbitration =
+        match priority with
+        | None -> Engine.Fifo
+        | Some p ->
+          Engine.Priority (Array.to_list (Array.map (fun mi -> templates.(mi).t_label) p))
+      in
+      let config =
+        { Engine.buffer_capacity = buffer; arbitration; switching = Engine.Wormhole;
+          max_cycles = sp.max_cycles; faults = Fault.empty; recovery = None }
+      in
+      incr runs;
+      match Engine.run ~config rt sched with
+      | Engine.Deadlock info ->
+        (* replay to confirm determinism before reporting *)
+        let confirmed =
+          match Engine.run ~config rt sched with
+          | Engine.Deadlock info' -> info'.Engine.d_cycle = info.Engine.d_cycle
+          | _ -> false
+        in
+        if not confirmed then
+          engine_bug "E090" ~rt ~sched ~cycle:info.Engine.d_cycle
+            "deadlock witness failed to replay: the engine is not deterministic";
+        if info.Engine.d_wait_cycle = [] then
+          engine_bug "E091" ~rt ~sched ~cycle:info.Engine.d_cycle
+            "reported deadlock has no wait-for cycle";
+        let w = { w_schedule = sched; w_config = config; w_info = info } in
+        witness := Some w;
+        if stop_at_first then raise Task_done
+      | Engine.All_delivered _ | Engine.Cutoff _ | Engine.Recovered _ -> ()
+    in
     let gap_choice = Array.make (max 0 (n - 1)) 0 in
     let len_choice = Array.make n 0 in
     let hold_choice = Array.make n 0 in
@@ -198,8 +229,7 @@ let explore ?(stop_at_first = true) rt sp =
     and holds mi =
       if mi = n then
         List.iter
-          (fun b ->
-            run ~order ~priority ~gap_choice ~len_choice ~hold_choice ~off_choice ~buffer:b)
+          (fun b -> run ~gap_choice ~len_choice ~hold_choice ~off_choice ~buffer:b)
           sp.buffers
       else
         for h = 0 to List.length templates.(mi).t_holds - 1 do
@@ -207,25 +237,33 @@ let explore ?(stop_at_first = true) rt sp =
           holds (mi + 1)
         done
     in
-    gaps 0
+    (try gaps 0 with Task_done -> ());
+    { t_runs = !runs; t_witness = !witness }
   in
-  let with_priorities order =
-    match sp.priorities with
-    | Fifo_only -> explore_assignments order None
-    | Follow_order -> explore_assignments order (Some order)
-    | All_permutations ->
-      Combinat.iter_permutations
-        (fun p -> explore_assignments order (Some (Array.copy p)))
-        (Array.init n Fun.id)
+  let results =
+    Wr_pool.map_until ?domains
+      ~hit:(fun r -> stop_at_first && r.t_witness <> None)
+      (fun ~stop ti () -> run_task ~stop ti)
+      (Array.make ntasks ())
   in
+  (* Canonical reduce in task-index order.  With [stop_at_first] the pool
+     guarantees every task up to (and including) the least-indexed hit ran
+     to its natural end and everything beyond is [None], so the totals and
+     the selected witness are byte-identical to the sequential sweep. *)
+  let total = ref 0 in
+  let last_witness = ref None in
   (try
-     if sp.try_all_orders then
-       Combinat.iter_permutations (fun order -> with_priorities (Array.copy order)) (Array.init n Fun.id)
-     else with_priorities (Array.init n Fun.id)
-   with Found _ -> ());
+     Array.iter
+       (function
+         | None -> raise Exit
+         | Some r ->
+           total := !total + r.t_runs;
+           (match r.t_witness with Some w -> last_witness := Some w | None -> ()))
+       results
+   with Exit -> ());
   match !last_witness with
-  | Some w -> Deadlock_found { runs = !runs; witness = w }
-  | None -> No_deadlock { runs = !runs }
+  | Some w -> Deadlock_found { runs = !total; witness = w }
+  | None -> No_deadlock { runs = !total }
 
 let pp_verdict topo ppf = function
   | No_deadlock { runs } -> Format.fprintf ppf "no deadlock in %d runs" runs

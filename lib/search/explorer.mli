@@ -90,10 +90,17 @@ exception Engine_bug of Diagnostic.t
     properties of the routing under test, so they are not folded into a
     verdict. *)
 
-val explore : ?stop_at_first:bool -> Routing.t -> space -> verdict
+val explore : ?stop_at_first:bool -> ?domains:int -> Routing.t -> space -> verdict
 (** Enumerate the space in a deterministic order.  With [stop_at_first]
     (default true) stop at the first confirmed witness; otherwise the last
     witness found is returned and [runs] counts the full space.
+
+    The outer order x priority product is partitioned into tasks run on a
+    {!Wr_pool} ([domains] defaults to [Wr_pool.default_domains ()]).  The
+    reduce is canonical: the verdict -- witness identity and the [runs]
+    count included -- is byte-identical for every domain count.  A witness
+    is selected by least task index, never by wall clock, and is replayed
+    before being reported.
     @raise Engine_bug on [E090]/[E091] internal-consistency failures. *)
 
 val space_size : space -> int

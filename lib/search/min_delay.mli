@@ -15,7 +15,7 @@ type result = {
   md_runs : int;  (** total simulator runs across the sweep *)
 }
 
-val search : ?max_h:int -> Paper_nets.net -> result
+val search : ?max_h:int -> ?domains:int -> Paper_nets.net -> result
 (** [max_h] defaults to twice the family parameter implied by the ring
     (ring length / 4), which comfortably brackets the expected threshold.
     The space per [h] is trimmed to the worst case the paper's analysis

@@ -193,7 +193,8 @@ let check ?(max_states = 2_000_000) ?(allow_stalls = false) rt msgs =
   | Some v -> v
   | None -> Safe { states = !states }
 
-let check_net ?max_states ?allow_stalls ?(extra = [ -2; -1; 0; 1 ]) (net : Paper_nets.net) =
+let check_net ?max_states ?allow_stalls ?(extra = [ -2; -1; 0; 1 ]) ?domains
+    (net : Paper_nets.net) =
   let rt = Cd_algorithm.of_net net in
   let candidates =
     List.map
@@ -204,19 +205,33 @@ let check_net ?max_states ?allow_stalls ?(extra = [ -2; -1; 0; 1 ]) (net : Paper
           lengths)
       net.intents
   in
-  let combos = Combinat.cartesian candidates in
-  let total_states = ref 0 in
-  let rec sweep = function
-    | [] -> Safe { states = !total_states }
-    | msgs :: rest -> (
-      match check ?max_states ?allow_stalls rt msgs with
-      | Safe { states } ->
-        total_states := !total_states + states;
-        sweep rest
-      | Deadlock d -> Deadlock { d with states = !total_states + d.states }
-      | Out_of_budget b -> Out_of_budget { states = !total_states + b.states })
+  let combos = Array.of_list (Combinat.cartesian candidates) in
+  (* One length combo per pool task, stopping at the first non-Safe verdict.
+     The canonical reduce accumulates state counts in combo order up to and
+     including the winner, byte-identical to the sequential sweep for any
+     domain count. *)
+  let results =
+    Wr_pool.map_until ?domains
+      ~hit:(function Safe _ -> false | Deadlock _ | Out_of_budget _ -> true)
+      (fun ~stop:_ _ msgs -> check ?max_states ?allow_stalls rt msgs)
+      combos
   in
-  sweep combos
+  let total_states = ref 0 in
+  let verdict = ref None in
+  (try
+     Array.iter
+       (function
+         | None -> raise Exit
+         | Some (Safe { states }) -> total_states := !total_states + states
+         | Some v ->
+           verdict := Some v;
+           raise Exit)
+       results
+   with Exit -> ());
+  match !verdict with
+  | Some (Deadlock d) -> Deadlock { d with states = !total_states + d.states }
+  | Some (Out_of_budget b) -> Out_of_budget { states = !total_states + b.states }
+  | Some (Safe _) | None -> Safe { states = !total_states }
 
 let pp ppf = function
   | Safe { states } -> Format.fprintf ppf "safe (%d states explored)" states

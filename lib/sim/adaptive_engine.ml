@@ -36,6 +36,7 @@ type msg_state = {
   mutable gone : Engine.fate option;
   mutable last_progress : int;
   mutable progressed : bool;
+  mutable awarded_now : int;  (* channel awarded this cycle; -1 if none *)
 }
 
 let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
@@ -78,24 +79,35 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
              gone = None;
              last_progress = 0;
              progressed = false;
+             awarded_now = -1;
            })
          sched)
   in
+  Engine.note_run_started ();
   let nmsg = Array.length marr in
   let nchan = Topology.num_channels topo in
   let faults = Fault.compile ~nchan config.Engine.faults in
   let owner = Array.make nchan (-1) in
-  let rank =
+  (* arbitration rank per schedule position, precomputed (the priority
+     variant used to hash the label on every sort comparison) *)
+  let rank_of =
     match config.Engine.arbitration with
-    | Engine.Fifo -> fun m -> m.idx
+    | Engine.Fifo -> Array.init nmsg (fun i -> i)
     | Engine.Priority order ->
       let pos = Hashtbl.create 8 in
       List.iteri (fun i l -> if not (Hashtbl.mem pos l) then Hashtbl.add pos l i) order;
-      fun m ->
-        (match Hashtbl.find_opt pos m.spec.Schedule.ms_label with
-        | Some i -> (i * nmsg) + m.idx
-        | None -> (List.length order * nmsg) + m.idx)
+      let worst = List.length order in
+      Array.map
+        (fun m ->
+          match Hashtbl.find_opt pos m.spec.Schedule.ms_label with
+          | Some i -> (i * nmsg) + m.idx
+          | None -> (worst * nmsg) + m.idx)
+        marr
   in
+  (* per-cycle scratch, reused: header option lists and the claimant order
+     (no per-cycle list build + List.sort + awarded Hashtbl) *)
+  let opts_now = Array.make nmsg [] in
+  let claim_order = Array.make nmsg 0 in
   let active m = m.delivered_at = None && m.gone = None in
   (* current option list of a message's header, [] when it cannot move.
      Channels that are down (failed or stalled) are not offered: adaptive
@@ -249,35 +261,54 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
     Array.iter (fun m -> m.progressed <- false) marr;
     (* -- allocation: headers claim their first free option; earlier
           waiters first, then priority -- *)
-    let claimants =
-      Array.to_list marr
-      |> List.filter (fun m -> current_options m t <> [])
-      |> List.map (fun m ->
-             if m.wait_since = max_int then m.wait_since <- t;
-             m)
-      |> List.sort (fun a b -> compare (a.wait_since, rank a) (b.wait_since, rank b))
-    in
-    let awarded = Hashtbl.create 8 in
-    List.iter
-      (fun m ->
-        let opts = current_options m t in
-        let free =
-          List.find_opt
-            (fun c ->
-              owner.(c) = -1
-              && (not (Hashtbl.mem awarded c))
-              && not (Vec.exists (fun c' -> c' = c) m.taken))
-            opts
-        in
-        match free with
-        | Some c ->
-          Hashtbl.add awarded c m.idx;
-          owner.(c) <- m.idx;
-          m.wait_since <- max_int;
-          m.progressed <- true;
-          moved := true
-        | None -> ())
-      claimants;
+    let nclaim = ref 0 in
+    for j = 0 to nmsg - 1 do
+      let m = marr.(j) in
+      m.awarded_now <- -1;
+      let opts = current_options m t in
+      opts_now.(j) <- opts;
+      if opts <> [] then begin
+        if m.wait_since = max_int then m.wait_since <- t;
+        claim_order.(!nclaim) <- j;
+        incr nclaim
+      end
+    done;
+    (* insertion sort of the claimants by (wait_since, rank): keys are
+       unique (rank embeds the schedule index), so this matches the old
+       [List.sort] order exactly, without the per-cycle list build *)
+    for a = 1 to !nclaim - 1 do
+      let j = claim_order.(a) in
+      let kw = marr.(j).wait_since in
+      let kr = rank_of.(j) in
+      let b = ref (a - 1) in
+      while
+        !b >= 0
+        &&
+        let j' = claim_order.(!b) in
+        let w' = marr.(j').wait_since in
+        w' > kw || (w' = kw && rank_of.(j') > kr)
+      do
+        claim_order.(!b + 1) <- claim_order.(!b);
+        decr b
+      done;
+      claim_order.(!b + 1) <- j
+    done;
+    for a = 0 to !nclaim - 1 do
+      let m = marr.(claim_order.(a)) in
+      let free =
+        List.find_opt
+          (fun c -> owner.(c) = -1 && not (Vec.exists (fun c' -> c' = c) m.taken))
+          opts_now.(m.idx)
+      in
+      match free with
+      | Some c ->
+        m.awarded_now <- c;
+        owner.(c) <- m.idx;
+        m.wait_since <- max_int;
+        m.progressed <- true;
+        moved := true
+      | None -> ()
+    done;
     (* -- movement: a down channel neither accepts nor emits flits -- *)
     Array.iter
       (fun m ->
@@ -302,7 +333,7 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
             end
           end;
           (* header hop into a channel awarded this cycle *)
-          (match Hashtbl.fold (fun c i acc -> if i = m.idx then Some c else acc) awarded None with
+          (match (if m.awarded_now >= 0 then Some m.awarded_now else None) with
           | Some c ->
             if m.head = -1 then begin
               (* header injection *)

@@ -87,6 +87,7 @@ type msg_state = {
   idx : int;  (* schedule position, used for deterministic tie-breaks *)
   mutable path : Topology.channel array;
   mutable occ : int array;  (* flits currently buffered at each path position *)
+  mutable holds : int array;  (* adversarial hold per path position *)
   mutable head : int;
   mutable injected : int;
   mutable consumed : int;
@@ -100,11 +101,27 @@ type msg_state = {
   mutable gone : fate option;  (* [Some Dropped | Some Gave_up] once abandoned *)
   mutable last_progress : int;  (* watchdog reference cycle *)
   mutable progressed : bool;  (* this message advanced during the current cycle *)
-  mutable waiting_for : int;  (* channel with a live wait_since entry; -1 if none *)
+  mutable waiting_for : int;  (* channel being waited on; -1 if none *)
+  mutable wait_since : int;  (* first cycle of the current wait (valid when waiting_for >= 0) *)
 }
 
-let hold_for m c =
-  match List.assoc_opt c m.spec.Schedule.ms_holds with Some t -> t | None -> 0
+(* A schedule's holds are an assoc list keyed by channel; resolving that per
+   acquisition attempt was O(path) in the innermost loop.  Paths visit each
+   channel at most once (Schedule.validate), so the holds are precomputed
+   per path position here and rebuilt whenever a reroute replaces the path. *)
+let holds_for_path (spec : Schedule.message_spec) path =
+  match spec.Schedule.ms_holds with
+  | [] -> Array.make (Array.length path) 0
+  | hs ->
+    Array.map (fun c -> match List.assoc_opt c hs with Some t -> t | None -> 0) path
+
+(* Process-wide count of simulation runs started, for throughput reporting
+   (runs/sec in the campaign timing table).  Atomic: runs happen on every
+   domain of a parallel sweep.  The adaptive engine counts itself in via
+   [note_run_started]. *)
+let runs_started = Atomic.make 0
+let note_run_started () = Atomic.incr runs_started
+let run_count () = Atomic.get runs_started
 
 let run ?(config = default_config) ?probe ?sanitizer rt sched =
   if config.buffer_capacity < 1 then invalid_arg "Engine.run: buffer_capacity < 1";
@@ -134,6 +151,7 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
   let nchan = Topology.num_channels topo in
   let faults = Fault.compile ~nchan config.faults in
   let cap = config.buffer_capacity in
+  note_run_started ();
   let msgs =
     List.mapi
       (fun idx (spec : Schedule.message_spec) ->
@@ -143,6 +161,7 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
           idx;
           path;
           occ = Array.make (Array.length path) 0;
+          holds = holds_for_path spec path;
           head = -1;
           injected = 0;
           consumed = 0;
@@ -157,25 +176,35 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
           last_progress = 0;
           progressed = false;
           waiting_for = -1;
+          wait_since = 0;
         })
       sched
   in
   let marr = Array.of_list msgs in
   let nmsg = Array.length marr in
   let owner = Array.make nchan (-1) in
-  (* (channel, msg) -> first cycle the message requested the channel *)
-  let wait_since = Hashtbl.create 32 in
-  let rank =
+  (* arbitration rank per schedule position, precomputed (the priority
+     variant used to hash the label on every award comparison) *)
+  let rank_of =
     match config.arbitration with
-    | Fifo -> fun m -> m.idx
+    | Fifo -> Array.init nmsg (fun i -> i)
     | Priority order ->
       let pos = Hashtbl.create 8 in
       List.iteri (fun i l -> if not (Hashtbl.mem pos l) then Hashtbl.add pos l i) order;
-      fun m ->
-        (match Hashtbl.find_opt pos m.spec.ms_label with
-        | Some i -> (i * nmsg) + m.idx
-        | None -> (List.length order * nmsg) + m.idx)
+      let worst = List.length order in
+      Array.map
+        (fun m ->
+          match Hashtbl.find_opt pos m.spec.Schedule.ms_label with
+          | Some i -> (i * nmsg) + m.idx
+          | None -> (worst * nmsg) + m.idx)
+        marr
   in
+  (* per-cycle request scratch, reused across cycles: [req_stamp.(c) = t]
+     marks channel [c] as requested this cycle, [req_list] keeps the
+     channels in first-request order (no per-cycle Hashtbl) *)
+  let req_stamp = Array.make nchan (-1) in
+  let req_list = Array.make nchan 0 in
+  let req_count = ref 0 in
   let moved = ref false in
   let finished = ref 0 in
   (* any fault fired or recovery action taken: the run reports [Recovered] *)
@@ -208,15 +237,20 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
     | Wormhole -> true
     | Store_and_forward -> m.head >= 0 && m.occ.(m.head) = m.spec.Schedule.ms_length
   in
-  let wanted m =
-    if not (active m) then None
-    else if m.head = -1 then Some m.path.(0)
+  (* hot-path variant: -1 for "wants nothing" (no option allocation) *)
+  let wanted_chan m =
+    if not (active m) then -1
+    else if m.head = -1 then m.path.(0)
     else if m.head < Array.length m.path - 1 && m.hold = 0 && assembled m then
-      Some m.path.(m.head + 1)
-    else None
+      m.path.(m.head + 1)
+    else -1
   in
-  let set_hold m c =
-    let h = hold_for m c in
+  let wanted m =
+    let c = wanted_chan m in
+    if c < 0 then None else Some c
+  in
+  let set_hold m pos =
+    let h = m.holds.(pos) in
     m.hold <- h;
     m.hold_fresh <- h > 0
   in
@@ -267,10 +301,11 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
               (Printf.sprintf "release watermark %d outside [0, %d]" m.released_up_to
                  release_bound);
           if m.waiting_for >= 0 then begin
-            if not (Hashtbl.mem wait_since (m.waiting_for, m.idx)) then
+            if m.wait_since < 0 || m.wait_since > t then
               viol "E104" m
-                (Printf.sprintf "waiting for %s with no seniority entry"
-                   (Topology.channel_name topo m.waiting_for));
+                (Printf.sprintf "waiting for %s with seniority cycle %d outside [0, %d]"
+                   (Topology.channel_name topo m.waiting_for)
+                   m.wait_since t);
             if wanted m <> Some m.waiting_for then
               viol "E104" m
                 (Printf.sprintf "wait entry on %s but the message no longer wants it"
@@ -289,14 +324,6 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
                    m.last_progress r.watchdog)
           | Some _ | None -> ())
         marr;
-      Hashtbl.iter
-        (fun (c, i) _ ->
-          if i < 0 || i >= nmsg || marr.(i).waiting_for <> c then
-            Sanitizer.record san
-              (Diagnostic.error "E104" (Diagnostic.Channel c)
-                 (Printf.sprintf "stale seniority entry for message index %d" i)
-                 ~context:ctx))
-        wait_since;
       Array.iteri
         (fun c own ->
           if own >= 0 then
@@ -311,10 +338,7 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
      return the message to its pre-injection state *)
   let drain m =
     Array.iter (fun c -> if owner.(c) = m.idx then owner.(c) <- -1) m.path;
-    if m.waiting_for >= 0 then begin
-      Hashtbl.remove wait_since (m.waiting_for, m.idx);
-      m.waiting_for <- -1
-    end;
+    m.waiting_for <- -1;
     Array.fill m.occ 0 (Array.length m.occ) 0;
     m.head <- -1;
     m.injected <- 0;
@@ -339,7 +363,8 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
         match Routing.path rt' m.spec.Schedule.ms_src m.spec.Schedule.ms_dst with
         | Ok p ->
           m.path <- Array.of_list p;
-          m.occ <- Array.make (Array.length m.path) 0
+          m.occ <- Array.make (Array.length m.path) 0;
+          m.holds <- holds_for_path m.spec m.path
         | Error _ ->
           (* the degraded network cannot deliver this pair at all *)
           give_up m Gave_up));
@@ -362,56 +387,63 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
           reroute) the stale entry is dropped so seniority cannot leak
           onto a channel the message no longer requests. -- *)
     let eligible m = m.head >= 0 || (m.injected = 0 && t >= m.attempt_at) in
-    let requested = Hashtbl.create 8 in
-    Array.iter
-      (fun m ->
-        match wanted m with
-        | Some c when eligible m && owner.(c) <> m.idx ->
-          if m.waiting_for <> c then begin
-            if m.waiting_for >= 0 then Hashtbl.remove wait_since (m.waiting_for, m.idx);
-            m.waiting_for <- c;
-            Hashtbl.replace wait_since (c, m.idx) t
-          end;
-          (* a down channel cannot be acquired, but the waiter keeps its
-             seniority for when the stall clears *)
-          if not (Fault.down faults c t) then Hashtbl.replace requested c ()
-        | Some _ | None ->
-          (* not requesting -- including the case where the message already
-             owns the channel it wants and its hop is merely fault-deferred:
-             an owner is not a waiter, so it must not hold a seniority entry
-             (the sanitizer's E104 check relies on this) *)
-          if m.waiting_for >= 0 then begin
-            Hashtbl.remove wait_since (m.waiting_for, m.idx);
-            m.waiting_for <- -1
-          end)
-      marr;
-    Hashtbl.iter
-      (fun c () ->
-        if owner.(c) = -1 then begin
-          let best = ref None in
-          Array.iter
-            (fun m ->
-              match wanted m with
-              | Some c' when c' = c && eligible m -> (
-                let since =
-                  match Hashtbl.find_opt wait_since (c, m.idx) with Some s -> s | None -> t
-                in
-                let key = (since, rank m) in
-                match !best with
-                | Some (bk, _) when bk <= key -> ()
-                | _ -> best := Some (key, m))
-              | Some _ | None -> ())
-            marr;
-          match !best with
-          | Some (_, m) ->
-            owner.(c) <- m.idx;
-            Hashtbl.remove wait_since (c, m.idx);
-            m.waiting_for <- -1;
-            m.progressed <- true;
-            moved := true
-          | None -> ()
-        end)
-      requested;
+    req_count := 0;
+    for j = 0 to nmsg - 1 do
+      let m = marr.(j) in
+      let c = wanted_chan m in
+      if c >= 0 && eligible m && owner.(c) <> m.idx then begin
+        if m.waiting_for <> c then begin
+          m.waiting_for <- c;
+          m.wait_since <- t
+        end;
+        (* a down channel cannot be acquired, but the waiter keeps its
+           seniority for when the stall clears *)
+        if not (Fault.down faults c t) && req_stamp.(c) <> t then begin
+          req_stamp.(c) <- t;
+          req_list.(!req_count) <- c;
+          incr req_count
+        end
+      end
+      else
+        (* not requesting -- including the case where the message already
+           owns the channel it wants and its hop is merely fault-deferred:
+           an owner is not a waiter, so it must not keep a seniority stamp
+           (the sanitizer's E104 check relies on this) *)
+        m.waiting_for <- -1
+    done;
+    (* awards for distinct channels are independent (an award writes only
+       [owner.(c)] and the winner's own flags), so the outcome does not
+       depend on the order of [req_list] *)
+    for ri = 0 to !req_count - 1 do
+      let c = req_list.(ri) in
+      if owner.(c) = -1 then begin
+        let best_j = ref (-1) in
+        let best_since = ref 0 in
+        let best_rank = ref 0 in
+        for j = 0 to nmsg - 1 do
+          let m = marr.(j) in
+          if wanted_chan m = c && eligible m then begin
+            let since = if m.waiting_for = c then m.wait_since else t in
+            let r = rank_of.(j) in
+            if
+              !best_j < 0 || since < !best_since
+              || (since = !best_since && r < !best_rank)
+            then begin
+              best_j := j;
+              best_since := since;
+              best_rank := r
+            end
+          end
+        done;
+        if !best_j >= 0 then begin
+          let m = marr.(!best_j) in
+          owner.(c) <- m.idx;
+          m.waiting_for <- -1;
+          m.progressed <- true;
+          moved := true
+        end
+      end
+    done;
     (* -- movement: per message, sweep from the front so freed slots are
           visible to the flits behind (wormhole pipelining).  A down channel
           (failed or stalled) neither accepts nor emits flits. -- *)
@@ -441,7 +473,7 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
             m.occ.(m.head) <- m.occ.(m.head) - 1;
             m.occ.(m.head + 1) <- m.occ.(m.head + 1) + 1;
             m.head <- m.head + 1;
-            set_hold m m.path.(m.head);
+            set_hold m m.head;
             moved := true;
             m.progressed <- true
           end;
@@ -463,7 +495,7 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
                 m.injected <- 1;
                 m.head <- 0;
                 m.injected_at <- Some t;
-                set_hold m m.path.(0);
+                set_hold m 0;
                 moved := true;
                 m.progressed <- true
               end

@@ -174,5 +174,14 @@ val run :
 
 val is_deadlock : outcome -> bool
 
+val run_count : unit -> int
+(** Total simulation runs started in this process (atomic: includes runs on
+    helper domains, and the adaptive engine's runs).  Used for runs/sec
+    throughput reporting in the campaign timing table. *)
+
+val note_run_started : unit -> unit
+(** Count one run towards {!run_count}.  Called by {!run} itself; exposed so
+    sibling engines (the adaptive engine) report through the same counter. *)
+
 val pp_fate : Format.formatter -> fate -> unit
 val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit

@@ -1,37 +1,60 @@
+(* Counters are atomic and the diagnostics list is mutex-protected: a single
+   installed sanitizer observes engine runs from every domain of a parallel
+   sweep concurrently. *)
 type t = {
   fail_fast : bool;
   limit : int;
-  mutable diags : Diagnostic.t list; (* newest first *)
-  mutable count : int;
-  mutable runs : int;
-  mutable cycles : int;
+  lock : Mutex.t;
+  mutable diags : Diagnostic.t list; (* newest first; guarded by [lock] *)
+  count : int Atomic.t;
+  runs : int Atomic.t;
+  cycles : int Atomic.t;
 }
 
 exception Violation of Diagnostic.t
 
 let create ?(fail_fast = false) ?(limit = 100) () =
   if limit < 0 then invalid_arg "Sanitizer.create: limit < 0";
-  { fail_fast; limit; diags = []; count = 0; runs = 0; cycles = 0 }
+  {
+    fail_fast;
+    limit;
+    lock = Mutex.create ();
+    diags = [];
+    count = Atomic.make 0;
+    runs = Atomic.make 0;
+    cycles = Atomic.make 0;
+  }
 
 let record s d =
   if s.fail_fast then raise (Violation d);
-  s.count <- s.count + 1;
-  if s.count <= s.limit then s.diags <- d :: s.diags
+  let n = 1 + Atomic.fetch_and_add s.count 1 in
+  if n <= s.limit then begin
+    Mutex.lock s.lock;
+    s.diags <- d :: s.diags;
+    Mutex.unlock s.lock
+  end
 
-let note_run s = s.runs <- s.runs + 1
-let note_cycle s = s.cycles <- s.cycles + 1
+let note_run s = Atomic.incr s.runs
+let note_cycle s = Atomic.incr s.cycles
 
-let diagnostics s = List.rev s.diags
-let violation_count s = s.count
-let runs_checked s = s.runs
-let cycles_checked s = s.cycles
-let ok s = s.count = 0
+let diagnostics s =
+  Mutex.lock s.lock;
+  let ds = s.diags in
+  Mutex.unlock s.lock;
+  List.rev ds
+
+let violation_count s = Atomic.get s.count
+let runs_checked s = Atomic.get s.runs
+let cycles_checked s = Atomic.get s.cycles
+let ok s = Atomic.get s.count = 0
 
 let reset s =
+  Mutex.lock s.lock;
   s.diags <- [];
-  s.count <- 0;
-  s.runs <- 0;
-  s.cycles <- 0
+  Mutex.unlock s.lock;
+  Atomic.set s.count 0;
+  Atomic.set s.runs 0;
+  Atomic.set s.cycles 0
 
 let installed : t option ref = ref None
 

@@ -16,7 +16,16 @@ type t = {
   chans : channel_info Vec.t;
   outs : channel Vec.t Vec.t; (* per node, outgoing channels *)
   ins : channel Vec.t Vec.t;
+  intern : (int, channel) Hashtbl.t;
+      (* (src, dst, vc) packed into one int -> channel id.  Maintained by
+         [add_channel]; read-only afterwards, so concurrent queries from
+         parallel sweep domains are safe.  Keys channel lookup at O(1)
+         instead of scanning the out-channel list on every routing query. *)
 }
+
+(* Node ids are dense and small (<= num_nodes), vc counts tiny: pack the
+   triple into a single immediate int so interning allocates nothing. *)
+let intern_key a b vc = (((a * 0x40000) + b) * 0x40) + vc
 
 let create () =
   {
@@ -25,6 +34,7 @@ let create () =
     chans = Vec.create ();
     outs = Vec.create ();
     ins = Vec.create ();
+    intern = Hashtbl.create 64;
   }
 
 let num_nodes t = Vec.length t.names
@@ -34,6 +44,7 @@ let num_channels t = Vec.length t.chans
 let add_node t name =
   if Hashtbl.mem t.by_name name then invalid_arg ("Topology.add_node: duplicate name " ^ name);
   let id = num_nodes t in
+  if id >= 0x40000 then invalid_arg "Topology.add_node: too many nodes";
   Vec.push t.names name;
   Hashtbl.add t.by_name name id;
   Vec.push t.outs (Vec.create ());
@@ -45,18 +56,14 @@ let check_node t v =
 
 let find_channel ?(vc = 0) t a b =
   check_node t a;
-  let rec scan = function
-    | [] -> None
-    | c :: rest ->
-      let info = Vec.get t.chans c in
-      if info.c_dst = b && info.c_vc = vc then Some c else scan rest
-  in
-  scan (Vec.to_list (Vec.get t.outs a))
+  if b < 0 || b >= num_nodes t || vc < 0 || vc >= 0x40 then None
+  else Hashtbl.find_opt t.intern (intern_key a b vc)
 
 let add_channel ?(vc = 0) ?name t a b =
   check_node t a;
   check_node t b;
   if a = b then invalid_arg "Topology.add_channel: self-loop";
+  if vc < 0 || vc >= 0x40 then invalid_arg "Topology.add_channel: vc outside [0, 63]";
   (match find_channel ~vc t a b with
   | Some _ -> invalid_arg "Topology.add_channel: duplicate channel (same src/dst/vc)"
   | None -> ());
@@ -64,6 +71,7 @@ let add_channel ?(vc = 0) ?name t a b =
   Vec.push t.chans { c_src = a; c_dst = b; c_vc = vc; c_name = name };
   Vec.push (Vec.get t.outs a) id;
   Vec.push (Vec.get t.ins b) id;
+  Hashtbl.replace t.intern (intern_key a b vc) id;
   id
 
 let add_bidirectional ?(vc = 0) t a b =
