@@ -14,6 +14,8 @@
    Options:
      --quick               smoke subset with a small measurement quota (CI)
      --json                also write BENCH_<date>.json with ns/run per case
+                           plus per-case work counters (one extra observed
+                           execution of each case under a metrics sink)
      --campaign-json FILE  splice a wormhole-campaign/1 JSON (from
                            run_experiments --json) into the bench JSON;
                            repeatable *)
@@ -61,101 +63,70 @@ let fig2_space =
   let templates = List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents in
   Explorer.default_space templates
 
+(* Each case keeps its raw thunk next to the bechamel test, so --json can
+   re-run it exactly once under a metrics sink and report the work counters
+   (runs, flits, acquisitions, pool claims...) per case. *)
+type case = { c_name : string; c_test : Test.t; c_run : unit -> unit }
+
+let case name f =
+  { c_name = name; c_test = Test.make ~name (Staged.stage f); c_run = (fun () -> ignore (f ())) }
+
 let entries =
   [
-    ("cdg/build-mesh8x8", Test.make ~name:"cdg/build-mesh8x8" (Staged.stage (fun () -> Cdg.build mesh8_rt)));
-    ("cdg/build-figure1", Test.make ~name:"cdg/build-figure1" (Staged.stage (fun () -> Cdg.build fig1_rt)));
-    ( "cdg/cycles-figure1",
-      Test.make ~name:"cdg/cycles-figure1"
-        (Staged.stage (fun () -> Cdg.elementary_cycles fig1_cdg)) );
-    ( "cdg/cycles-torus5x5",
-      Test.make ~name:"cdg/cycles-torus5x5"
-        (Staged.stage
-           (let cdg = Cdg.build torus5_rt in
-            fun () -> Cdg.elementary_cycles cdg)) );
-    ( "classify/figure1-cycle",
-      Test.make ~name:"classify/figure1-cycle"
-        (Staged.stage
-           (let cycle = List.hd (Cdg.elementary_cycles fig1_cdg) in
-            fun () -> Cycle_analysis.classify fig1_cdg cycle)) );
-    ( "classify/theorem5-figure3c",
-      Test.make ~name:"classify/theorem5-figure3c"
-        (Staged.stage
-           (let cycle = List.hd (Cdg.elementary_cycles fig3c_cdg) in
-            fun () -> Cycle_analysis.classify fig3c_cdg cycle)) );
-    ( "properties/coherent-mesh8x8",
-      Test.make ~name:"properties/coherent-mesh8x8"
-        (Staged.stage (fun () -> Properties.coherent mesh8_rt)) );
-    ( "sim/mesh8x8-uniform-300c",
-      Test.make ~name:"sim/mesh8x8-uniform-300c"
-        (Staged.stage (fun () -> Sim_measure.run mesh8_rt mesh_schedule)) );
-    ( "sim/torus5x5-tornado-deadlock",
-      Test.make ~name:"sim/torus5x5-tornado-deadlock"
-        (Staged.stage (fun () -> Engine.run torus5_rt tornado_schedule)) );
+    case "cdg/build-mesh8x8" (fun () -> Cdg.build mesh8_rt);
+    case "cdg/build-figure1" (fun () -> Cdg.build fig1_rt);
+    case "cdg/cycles-figure1" (fun () -> Cdg.elementary_cycles fig1_cdg);
+    case "cdg/cycles-torus5x5"
+      (let cdg = Cdg.build torus5_rt in
+       fun () -> Cdg.elementary_cycles cdg);
+    case "classify/figure1-cycle"
+      (let cycle = List.hd (Cdg.elementary_cycles fig1_cdg) in
+       fun () -> Cycle_analysis.classify fig1_cdg cycle);
+    case "classify/theorem5-figure3c"
+      (let cycle = List.hd (Cdg.elementary_cycles fig3c_cdg) in
+       fun () -> Cycle_analysis.classify fig3c_cdg cycle);
+    case "properties/coherent-mesh8x8" (fun () -> Properties.coherent mesh8_rt);
+    case "sim/mesh8x8-uniform-300c" (fun () -> Sim_measure.run mesh8_rt mesh_schedule);
+    case "sim/torus5x5-tornado-deadlock" (fun () -> Engine.run torus5_rt tornado_schedule);
     (* the raw engine with no probe and no sanitizer: the PR-3 hot path
        (precomputed hold arrays, indexed wait_since, stamped request
        scratch) is exactly what this measures *)
-    ( "sim/engine-hotpath",
-      Test.make ~name:"sim/engine-hotpath"
-        (Staged.stage (fun () -> Engine.run mesh8_rt mesh_schedule)) );
-    ( "search/figure1-order-sweep",
-      Test.make ~name:"search/figure1-order-sweep"
-        (Staged.stage (fun () -> Explorer.explore fig1_rt fig1_quick_space)) );
-    ( "search/figure2-witness",
-      Test.make ~name:"search/figure2-witness"
-        (Staged.stage (fun () -> Explorer.explore fig2_rt fig2_space)) );
+    case "sim/engine-hotpath" (fun () -> Engine.run mesh8_rt mesh_schedule);
+    case "search/figure1-order-sweep" (fun () -> Explorer.explore fig1_rt fig1_quick_space);
+    case "search/figure2-witness" (fun () -> Explorer.explore fig2_rt fig2_space);
     (* the same sweep through the Wr_pool, pinned sequential vs parallel;
        with one domain the two are the identical code path, so any gap on a
        multicore host is the pool's win (or overhead) *)
-    ( "sweep/figure2-seq",
-      Test.make ~name:"sweep/figure2-seq"
-        (Staged.stage (fun () -> Explorer.explore ~domains:1 fig2_rt fig2_space)) );
-    ( "sweep/figure2-parallel",
-      Test.make ~name:"sweep/figure2-parallel"
-        (Staged.stage
-           (let d = Wr_pool.default_domains () in
-            fun () -> Explorer.explore ~domains:d fig2_rt fig2_space)) );
-    ( "family/min-delay-p1",
-      Test.make ~name:"family/min-delay-p1"
-        (Staged.stage
-           (let net = Paper_nets.family 1 in
-            fun () -> Min_delay.search ~max_h:2 net)) );
-    ( "classify/message-flow-figure1",
-      Test.make ~name:"classify/message-flow-figure1"
-        (Staged.stage (fun () -> Message_flow.analyze fig1_rt)) );
-    ( "classify/duato-mesh4x4",
-      Test.make ~name:"classify/duato-mesh4x4"
-        (Staged.stage
-           (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
-            let ad = Adaptive.duato_mesh mesh2 in
-            let escape = Adaptive.escape_of_duato_mesh mesh2 in
-            fun () -> Duato.check ad ~escape)) );
-    ( "sim/adaptive-duato-stress",
-      Test.make ~name:"sim/adaptive-duato-stress"
-        (Staged.stage
-           (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
-            let ad = Adaptive.duato_mesh mesh2 in
-            let rng = Rng.create 13 in
-            let pattern = Traffic.uniform rng mesh2 in
-            let sched =
-              Traffic.bernoulli_schedule rng pattern ~coords:mesh2 ~rate:0.05 ~length:4
-                ~horizon:150
-            in
-            fun () -> Adaptive_engine.run ad sched)) );
-    ( "search/model-check-figure1",
-      Test.make ~name:"search/model-check-figure1"
-        (Staged.stage
-           (let net = Paper_nets.figure1 () in
-            fun () -> Model_checker.check_net ~extra:[ 0 ] net)) );
+    case "sweep/figure2-seq" (fun () -> Explorer.explore ~domains:1 fig2_rt fig2_space);
+    case "sweep/figure2-parallel"
+      (let d = Wr_pool.default_domains () in
+       fun () -> Explorer.explore ~domains:d fig2_rt fig2_space);
+    case "family/min-delay-p1"
+      (let net = Paper_nets.family 1 in
+       fun () -> Min_delay.search ~max_h:2 net);
+    case "classify/message-flow-figure1" (fun () -> Message_flow.analyze fig1_rt);
+    case "classify/duato-mesh4x4"
+      (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
+       let ad = Adaptive.duato_mesh mesh2 in
+       let escape = Adaptive.escape_of_duato_mesh mesh2 in
+       fun () -> Duato.check ad ~escape);
+    case "sim/adaptive-duato-stress"
+      (let mesh2 = Builders.mesh ~vcs:2 [ 4; 4 ] in
+       let ad = Adaptive.duato_mesh mesh2 in
+       let rng = Rng.create 13 in
+       let pattern = Traffic.uniform rng mesh2 in
+       let sched =
+         Traffic.bernoulli_schedule rng pattern ~coords:mesh2 ~rate:0.05 ~length:4 ~horizon:150
+       in
+       fun () -> Adaptive_engine.run ad sched);
+    case "search/model-check-figure1"
+      (let net = Paper_nets.figure1 () in
+       fun () -> Model_checker.check_net ~extra:[ 0 ] net);
     (* ablation: the arbitration-adversary dimension of the search *)
-    ( "search/figure2-fifo-only",
-      Test.make ~name:"search/figure2-fifo-only"
-        (Staged.stage
-           (let templates =
-              List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents
-            in
-            let sp = { (Explorer.default_space templates) with priorities = Explorer.Fifo_only } in
-            fun () -> Explorer.explore fig2_rt sp)) );
+    case "search/figure2-fifo-only"
+      (let templates = List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents in
+       let sp = { (Explorer.default_space templates) with priorities = Explorer.Fifo_only } in
+       fun () -> Explorer.explore fig2_rt sp);
   ]
 
 (* fast cases that still cover the PR-3 surfaces: CDG machinery, the engine
@@ -170,11 +141,28 @@ let smoke =
     "sweep/figure2-parallel";
   ]
 
+let chosen_cases ~quick =
+  if quick then List.filter (fun c -> List.mem c.c_name smoke) entries else entries
+
+(* One observed execution of a case: fold its events into a fresh registry
+   (with the pool bridge attached, so sweep cases report claim/cancel
+   counts) and keep the non-zero counters.  Parallel sweeps make some of
+   these schedule-dependent -- like the timings, they describe this
+   machine's execution, not a canonical quantity. *)
+let counters_of c =
+  let reg = Obs.Metrics.create () in
+  Obs.install (Obs.metrics_sink reg);
+  Obs.attach_pool ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.detach_pool ();
+      Obs.uninstall ())
+    c.c_run;
+  List.filter (fun (_, v) -> v <> 0) (Obs.Metrics.snapshot reg)
+
 let benchmark ~quick =
-  let chosen =
-    if quick then List.filter (fun (n, _) -> List.mem n smoke) entries else entries
-  in
-  let tests = Test.make_grouped ~name:"wormhole" (List.map snd chosen) in
+  let chosen = chosen_cases ~quick in
+  let tests = Test.make_grouped ~name:"wormhole" (List.map (fun c -> c.c_test) chosen) in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -197,7 +185,7 @@ let today () =
   let tm = Unix.localtime (Unix.time ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_json ~quick ~campaigns rows =
+let write_json ~quick ~campaigns ~counters rows =
   let date = today () in
   let path = Printf.sprintf "BENCH_%s.json" date in
   let buf = Buffer.create 2048 in
@@ -218,6 +206,19 @@ let write_json ~quick ~campaigns rows =
            (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
            (if i = n - 1 then "" else ",")))
     rows;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"counters\": {\n";
+  let ncnt = List.length counters in
+  List.iteri
+    (fun i (name, kvs) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: {" name);
+      List.iteri
+        (fun j (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%S: %d" (if j = 0 then "" else ", ") k v))
+        kvs;
+      Buffer.add_string buf (Printf.sprintf "}%s\n" (if i = ncnt - 1 then "" else ",")))
+    counters;
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"campaigns\": [\n";
   let nc = List.length campaigns in
@@ -286,6 +287,10 @@ let () =
   List.iter (fun (name, est) -> Table.add_row table [ name; human est ]) rows;
   Table.print table;
   if !json then begin
-    let path = write_json ~quick:!quick ~campaigns:(List.rev !campaigns) rows in
+    (* one extra observed execution per case, for the work counters *)
+    let counters =
+      List.map (fun c -> (c.c_name, counters_of c)) (chosen_cases ~quick:!quick)
+    in
+    let path = write_json ~quick:!quick ~campaigns:(List.rev !campaigns) ~counters rows in
     Printf.printf "\nbench JSON written to %s\n" path
   end

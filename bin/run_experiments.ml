@@ -49,6 +49,10 @@ type timing = {
   tm_name : string;
   tm_wall : float;  (* seconds *)
   tm_runs : int;  (* engine runs started by this experiment *)
+  tm_cancelled : int;
+      (* of those, runs a parallel sweep started speculatively and then
+         discarded; tm_runs - tm_cancelled is the canonical tally, byte-
+         identical at any --domains *)
 }
 
 let runs_per_sec tm = if tm.tm_wall > 0. then float_of_int tm.tm_runs /. tm.tm_wall else 0.
@@ -56,8 +60,8 @@ let runs_per_sec tm = if tm.tm_wall > 0. then float_of_int tm.tm_runs /. tm.tm_w
 let timing_table timings =
   let table =
     Table.create
-      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
-      [ "experiment"; "wall (s)"; "engine runs"; "runs/sec" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "experiment"; "wall (s)"; "engine runs"; "cancelled"; "runs/sec" ]
   in
   List.iter
     (fun tm ->
@@ -66,16 +70,19 @@ let timing_table timings =
           tm.tm_name;
           Printf.sprintf "%.2f" tm.tm_wall;
           string_of_int tm.tm_runs;
+          string_of_int tm.tm_cancelled;
           Printf.sprintf "%.0f" (runs_per_sec tm);
         ])
     timings;
   let total_wall = List.fold_left (fun acc tm -> acc +. tm.tm_wall) 0. timings in
   let total_runs = List.fold_left (fun acc tm -> acc + tm.tm_runs) 0 timings in
+  let total_cancelled = List.fold_left (fun acc tm -> acc + tm.tm_cancelled) 0 timings in
   Table.add_row table
     [
       "total";
       Printf.sprintf "%.2f" total_wall;
       string_of_int total_runs;
+      string_of_int total_cancelled;
       Printf.sprintf "%.0f"
         (if total_wall > 0. then float_of_int total_runs /. total_wall else 0.);
     ];
@@ -91,14 +98,18 @@ let write_json path ~quick ~domains ~claims ~failed timings =
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf (Printf.sprintf "  \"claims\": %d,\n" claims);
   Buffer.add_string buf (Printf.sprintf "  \"failed\": %d,\n" failed);
+  let total_cancelled = List.fold_left (fun acc tm -> acc + tm.tm_cancelled) 0 timings in
   Buffer.add_string buf (Printf.sprintf "  \"wall_s\": %.3f,\n" total_wall);
   Buffer.add_string buf (Printf.sprintf "  \"engine_runs\": %d,\n" total_runs);
+  Buffer.add_string buf (Printf.sprintf "  \"engine_runs_cancelled\": %d,\n" total_cancelled);
   Buffer.add_string buf "  \"experiments\": [\n";
   List.iteri
     (fun i tm ->
       Buffer.add_string buf
-        (Printf.sprintf "    {\"name\": %S, \"wall_s\": %.3f, \"runs\": %d, \"runs_per_s\": %.0f}%s\n"
-           tm.tm_name tm.tm_wall tm.tm_runs (runs_per_sec tm)
+        (Printf.sprintf
+           "    {\"name\": %S, \"wall_s\": %.3f, \"runs\": %d, \"cancelled\": %d, \
+            \"runs_per_s\": %.0f}%s\n"
+           tm.tm_name tm.tm_wall tm.tm_runs tm.tm_cancelled (runs_per_sec tm)
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string buf "  ]\n}\n";
@@ -106,7 +117,47 @@ let write_json path ~quick ~domains ~claims ~failed timings =
   output_string oc (Buffer.contents buf);
   close_out oc
 
-let main names quick max_p sanitize domains json =
+(* The campaign metrics file is built from canonically-reduced quantities
+   only (claim verdicts, canonical run tallies), never from event-stream
+   folds: interleaved event streams from parallel sweeps are schedule-
+   dependent, so folding them would break the byte-determinism contract
+   (DESIGN.md §11).  Everything written here is identical at any --domains. *)
+let write_metrics path ~quick ~rows timings =
+  let reg = Obs.Metrics.create () in
+  let quick_g =
+    Obs.Metrics.gauge reg ~help:"1 when the campaign ran with --quick" "wormhole_campaign_quick"
+  in
+  Obs.Metrics.set quick_g (if quick then 1 else 0);
+  let claims status =
+    Obs.Metrics.counter reg ~help:"Campaign claims by verdict"
+      ~labels:[ ("status", status) ]
+      "wormhole_campaign_claims_total"
+  in
+  let ok_c = claims "ok" and failed_c = claims "failed" in
+  List.iter
+    (fun r -> Obs.Metrics.inc (if r.Experiments.x_ok then ok_c else failed_c))
+    rows;
+  List.iter
+    (fun tm ->
+      let c =
+        Obs.Metrics.counter reg
+          ~help:"Canonical engine runs per experiment (speculative cancelled runs excluded)"
+          ~labels:[ ("experiment", tm.tm_name) ]
+          "wormhole_campaign_experiment_runs_total"
+      in
+      Obs.Metrics.add c (tm.tm_runs - tm.tm_cancelled))
+    timings;
+  let total =
+    Obs.Metrics.counter reg ~help:"Canonical engine runs across the campaign"
+      "wormhole_campaign_runs_total"
+  in
+  Obs.Metrics.add total
+    (List.fold_left (fun acc tm -> acc + (tm.tm_runs - tm.tm_cancelled)) 0 timings);
+  let oc = open_out path in
+  output_string oc (Obs.Metrics.to_prometheus reg);
+  close_out oc
+
+let main names quick max_p sanitize domains json metrics =
   (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
   let ppf = Format.std_formatter in
   let sanitizer =
@@ -137,6 +188,7 @@ let main names quick max_p sanitize domains json =
       (fun (name, e) ->
         let t0 = Unix.gettimeofday () in
         let runs0 = Engine.run_count () in
+        let cancelled0 = Engine.cancelled_count () in
         let rows = run_one ~quick ~max_p ppf e in
         Format.pp_print_flush ppf ();
         let tm =
@@ -144,6 +196,7 @@ let main names quick max_p sanitize domains json =
             tm_name = name;
             tm_wall = Unix.gettimeofday () -. t0;
             tm_runs = Engine.run_count () - runs0;
+            tm_cancelled = Engine.cancelled_count () - cancelled0;
           }
         in
         timings := tm :: !timings;
@@ -160,8 +213,10 @@ let main names quick max_p sanitize domains json =
   (match sanitizer with
   | None -> ()
   | Some s ->
-    Format.fprintf ppf "@\nsanitizer: %d runs, %d cycles checked@." (Sanitizer.runs_checked s)
-      (Sanitizer.cycles_checked s);
+    Format.fprintf ppf "@\nsanitizer: %d runs (%d canonical, %d cancelled), %d cycles checked@."
+      (Sanitizer.runs_checked s)
+      (Sanitizer.runs_checked s - Sanitizer.runs_cancelled s)
+      (Sanitizer.runs_cancelled s) (Sanitizer.cycles_checked s);
     if not (Sanitizer.ok s) then begin
       Format.fprintf ppf "%d invariant violation(s):@." (Sanitizer.violation_count s);
       List.iter
@@ -170,6 +225,11 @@ let main names quick max_p sanitize domains json =
       exit 1
     end);
   Format.fprintf ppf "@\nall %d claims reproduced@." (List.length rows);
+  (match metrics with
+  | None -> ()
+  | Some path ->
+    write_metrics path ~quick ~rows timings;
+    Format.fprintf ppf "@\ncampaign metrics written to %s@." path);
   (* wall-clock-dependent section last, so everything above stays byte-
      identical across runs and domain counts *)
   Format.fprintf ppf "@\n=== Timing (domains=%d) ===@\n%s@?" (Wr_pool.default_domains ())
@@ -212,10 +272,18 @@ let json_arg =
              (schema wormhole-campaign/1)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc = "Write campaign metrics (claim verdicts, canonical per-experiment engine-run \
+             tallies) to $(docv) in Prometheus text format.  Built only from canonically \
+             reduced quantities, so the file is byte-identical at any --domains." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the paper's figures and theorem checks" in
   let info = Cmd.info "experiments" ~doc in
   Cmd.v info
-    Term.(const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg $ domains_arg $ json_arg)
+    Term.(
+      const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg $ domains_arg $ json_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

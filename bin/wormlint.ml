@@ -53,7 +53,41 @@ let run_corpus json =
       results;
   if failed = [] then 0 else 1
 
-let lint_entries json fault_spec all_flag selection =
+(* Prometheus text file with the full (algorithm x severity) count matrix;
+   every cell is pre-registered so CI thresholds can distinguish "linted
+   clean" (0) from "not linted" (series absent). *)
+let write_metrics path results =
+  let reg = Obs.Metrics.create () in
+  let severities = [ Diagnostic.Error; Diagnostic.Warning; Diagnostic.Info ] in
+  let total s =
+    Obs.Metrics.counter reg ~help:"Lint diagnostics by severity"
+      ~labels:[ ("severity", Diagnostic.severity_string s) ]
+      "wormlint_diagnostics_total"
+  in
+  let per_algo name s =
+    Obs.Metrics.counter reg ~help:"Lint diagnostics by algorithm and severity"
+      ~labels:[ ("algorithm", name); ("severity", Diagnostic.severity_string s) ]
+      "wormlint_algorithm_diagnostics_total"
+  in
+  let algos =
+    Obs.Metrics.counter reg ~help:"Algorithms linted" "wormlint_algorithms_total"
+  in
+  List.iter (fun s -> ignore (total s)) severities;
+  List.iter
+    (fun (e, _, ds) ->
+      Obs.Metrics.inc algos;
+      List.iter
+        (fun s ->
+          let n = Diagnostic.count s ds in
+          Obs.Metrics.add (total s) n;
+          Obs.Metrics.add (per_algo e.Registry.r_name s) n)
+        severities)
+    results;
+  let oc = open_out path in
+  output_string oc (Obs.Metrics.to_prometheus reg);
+  close_out oc
+
+let lint_entries json fault_spec all_flag metrics selection =
   let all = Registry.entries () in
   (if all_flag && selection <> [] then begin
      Printf.eprintf "--all and an explicit selection are mutually exclusive\n";
@@ -113,13 +147,14 @@ let lint_entries json fault_spec all_flag selection =
           (Diagnostic.count Diagnostic.Info ds);
         List.iter (fun d -> Format.printf "  %a@." (Diagnostic.pp ~topo ()) d) ds)
       results;
+  (match metrics with None -> () | Some path -> write_metrics path results);
   if num_errors = 0 then 0 else 1
 
-let main list corpus json fault_spec all_flag domains selection =
+let main list corpus json fault_spec all_flag domains metrics selection =
   (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
   if list then list_registry ()
   else if corpus then run_corpus json
-  else lint_entries json fault_spec all_flag selection
+  else lint_entries json fault_spec all_flag metrics selection
 
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List the registered algorithms and exit.")
@@ -156,6 +191,15 @@ let faults_arg =
         ~doc:"Also lint this fault plan (Fault.parse syntax) against each selected \
               algorithm's topology.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write diagnostic counts per severity (total and per algorithm) to $(docv) in \
+              Prometheus text format, for CI thresholding.  Every (algorithm, severity) \
+              series is present, zero-valued when clean.  Lint mode only.")
+
 let selection_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"ALGORITHM" ~doc:"Registry entries to lint \
                                                                    (default: all).")
@@ -166,6 +210,6 @@ let cmd =
     (Cmd.info "wormlint" ~doc)
     Term.(
       const main $ list_flag $ corpus_flag $ json_flag $ faults_arg $ all_flag $ domains_arg
-      $ selection_arg)
+      $ metrics_arg $ selection_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -116,18 +116,93 @@ let recovery_of faults recovery_on retry_limit watchdog algo =
     in
     Some { Engine.default_recovery with retry_limit; watchdog; reroute }
 
+(* Observability wiring for --trace-out/--metrics-out: a recorder (events
+   feed the Chrome exporter and the deadlock post-mortem) teed with a
+   metrics fold when requested.  wormsim is a single run, so folding the
+   event stream into metrics is deterministic here (DESIGN.md §11). *)
+type obs_ctx = {
+  oc_events : unit -> Obs.Event.t list;
+  oc_reg : Obs.Metrics.t;
+  oc_trace : string option;
+  oc_metrics : string option;
+}
+
+let setup_obs trace_out metrics_out =
+  if trace_out = None && metrics_out = None then None
+  else begin
+    let sink, events = Obs.recorder () in
+    let reg = Obs.Metrics.create () in
+    let sinks =
+      match metrics_out with None -> [ sink ] | Some _ -> [ sink; Obs.metrics_sink reg ]
+    in
+    Obs.install (Obs.tee sinks);
+    Some { oc_events = events; oc_reg = reg; oc_trace = trace_out; oc_metrics = metrics_out }
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* [post_mortem] when the run deadlocked or went through recovery: print the
+   reconstructed wait-for knot, occupancy history and (given [rt]) the
+   Theorem 2-5 classification of the knot's channel cycle. *)
+let finalize_obs ?rt ~topo ~post_mortem = function
+  | None -> ()
+  | Some ctx ->
+    Obs.uninstall ();
+    let events = ctx.oc_events () in
+    if post_mortem then
+      Format.printf "%s@?" (Obs.Postmortem.render ~topo (Obs.Postmortem.analyze ?rt events));
+    (match ctx.oc_trace with
+    | Some path ->
+      write_file path (Obs.Chrome.to_json ~topo events);
+      Format.printf "chrome trace written to %s@." path
+    | None -> ());
+    (match ctx.oc_metrics with
+    | Some path ->
+      write_file path (Obs.Metrics.to_prometheus ctx.oc_reg);
+      Format.printf "metrics written to %s@." path
+    | None -> ())
+
 let run_oblivious topo rt sched config =
   let out = Engine.run ~config rt sched in
   Format.printf "%a@." (Engine.pp_outcome topo) out;
-  if Engine.is_deadlock out then exit 3
+  let pm = match out with Engine.Deadlock _ | Engine.Recovered _ -> true | _ -> false in
+  (Engine.is_deadlock out, pm)
 
 let main topology dims routing pattern rate length horizon permutation seed buffer faults_spec
-    recovery_on retry_limit watchdog =
+    recovery_on retry_limit watchdog witness trace_out metrics_out =
   try
     let rng = Rng.create seed in
     match paper_net topology with
+    | Some net when witness ->
+      (* sweep the intent schedule space for a deadlock witness, then
+         replay only the witness under observation (sweeping under the
+         sink would record thousands of unrelated runs) *)
+      let rt = Cd_algorithm.of_net net in
+      let templates =
+        List.map (fun i -> Explorer.intent_template net i) net.Paper_nets.intents
+      in
+      Printf.printf "network=%s messages=%d (witness sweep)\n" topology
+        (List.length net.Paper_nets.intents);
+      (match Explorer.explore rt (Explorer.default_space templates) with
+      | Explorer.No_deadlock { runs } ->
+        Format.printf "no deadlock witness in %d runs@." runs;
+        finalize_obs ~rt ~topo:net.Paper_nets.topo ~post_mortem:false
+          (setup_obs trace_out metrics_out)
+      | Explorer.Deadlock_found { runs; witness = w } ->
+        Format.printf "deadlock witness found after %d runs; replaying under observation@."
+          runs;
+        let obs = setup_obs trace_out metrics_out in
+        let deadlocked, pm =
+          run_oblivious net.Paper_nets.topo rt w.Explorer.w_schedule w.Explorer.w_config
+        in
+        finalize_obs ~rt ~topo:net.Paper_nets.topo ~post_mortem:pm obs;
+        if deadlocked then exit 3)
     | Some net ->
       (* the paper's CD networks replay their designated messages *)
+      let obs = setup_obs trace_out metrics_out in
       let rt = Cd_algorithm.of_net net in
       let sched =
         List.map
@@ -142,9 +217,15 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       Printf.printf "network=%s messages=%d\n" topology (List.length sched);
       if not (Fault.is_empty faults) then
         Format.printf "faults: %a@." (Fault.pp net.Paper_nets.topo) faults;
-      run_oblivious net.Paper_nets.topo rt sched
-        { Engine.default_config with buffer_capacity = buffer; faults; recovery }
+      let deadlocked, pm =
+        run_oblivious net.Paper_nets.topo rt sched
+          { Engine.default_config with buffer_capacity = buffer; faults; recovery }
+      in
+      finalize_obs ~rt ~topo:net.Paper_nets.topo ~post_mortem:pm obs;
+      if deadlocked then exit 3
     | None ->
+      if witness then failwith "--witness only applies to paper networks (figure1, figure2, ...)";
+      let obs = setup_obs trace_out metrics_out in
       let { coords; routing = algo } = build topology dims routing in
       (match algo with
       | `Oblivious rt -> (
@@ -175,15 +256,26 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       | `Oblivious rt ->
         let report = Measure.run ~config rt sched in
         Format.printf "%a@." Measure.pp report;
+        finalize_obs ~rt ~topo:coords.Builders.topo
+          ~post_mortem:(report.Measure.deadlocked || report.Measure.recovered)
+          obs;
         if report.Measure.deadlocked then exit 3
-      | `Adaptive ad -> (
-        match Adaptive_engine.run ~config ad sched with
+      | `Adaptive ad ->
+        let out = Adaptive_engine.run ~config ad sched in
+        (match out with
         | Adaptive_engine.All_delivered { finished_at; messages } ->
           Format.printf "%d/%d delivered in %d cycles (adaptive)@." (List.length messages)
             (List.length sched) finished_at
-        | o ->
-          Format.printf "%a@." (Adaptive_engine.pp_outcome coords.Builders.topo) o;
-          if Adaptive_engine.is_deadlock o then exit 3))
+        | o -> Format.printf "%a@." (Adaptive_engine.pp_outcome coords.Builders.topo) o);
+        let pm =
+          match out with
+          | Adaptive_engine.Deadlock _ | Adaptive_engine.Recovered _ -> true
+          | _ -> false
+        in
+        (* adaptive: no oblivious routing function, so the post-mortem skips
+           the CDG classification *)
+        finalize_obs ~topo:coords.Builders.topo ~post_mortem:pm obs;
+        if Adaptive_engine.is_deadlock out then exit 3)
   with Failure msg ->
     Printf.eprintf "wormsim: %s\n" msg;
     exit 2
@@ -235,12 +327,32 @@ let watchdog_arg =
   Arg.(value & opt int Engine.default_recovery.Engine.watchdog
     & info [ "watchdog" ] ~docv:"CYCLES" ~doc:"cycles without progress before a message is aborted")
 
+let witness_arg =
+  Arg.(value & flag
+    & info [ "witness" ]
+        ~doc:"for paper networks: sweep the intents' schedule space (lengths, gaps, orders, \
+              priorities) for a deadlock witness and replay it; combine with --trace-out or \
+              --metrics-out to observe the deadlock and get a post-mortem")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"record the run's structured events and write a Chrome trace_event JSON to \
+              $(docv) (load in chrome://tracing or Perfetto); on deadlock or recovery a \
+              post-mortem of the wait-for knot is printed too")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"fold the run's events into the standard wormhole_* metric families and write \
+              them to $(docv) in Prometheus text format")
+
 let cmd =
   let doc = "simulate wormhole routing on a classic topology" in
   Cmd.v (Cmd.info "wormsim" ~doc)
     Term.(
       const main $ topo_arg $ dims_arg $ routing_arg $ pattern_arg $ rate_arg $ length_arg
       $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg $ faults_arg $ recovery_arg
-      $ retry_limit_arg $ watchdog_arg)
+      $ retry_limit_arg $ watchdog_arg $ witness_arg $ trace_out_arg $ metrics_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,14 @@
+(** ASCII channel-occupancy timeline reconstructed from the event stream.
+
+    The event-bus successor to [Trace.render]: same picture (one row per
+    ever-occupied channel, one column per cycle, first letter of the owning
+    label, uppercase when more than one flit queues, ['.'] when free, rows
+    sorted by first occupancy) but driven by a recorded {!Obs_event.t}
+    list, so it needs no [?probe] plumbing — any run under an
+    [Obs.recorder] can be rendered after the fact. *)
+
+val render : ?max_cycles:int -> Topology.t -> Obs_event.t list -> string
+(** [max_cycles] (default 120) truncates wide timelines with the same
+    explicit [" …"] row markers and ["… +N cycles"] footer as
+    [Trace.render].  Returns [""] when the stream carries no cycled
+    events. *)

@@ -109,8 +109,12 @@ let engine_bug code ~rt ~sched ~cycle msg =
 
 (* One task of the parallel sweep: a single (order, priority) cell of the
    outer product, with the whole gap/length/offset/hold/buffer enumeration
-   run inside it. *)
-type task_result = { t_runs : int; t_witness : witness option }
+   run inside it.  [t_started] counts every [Engine.run] call the task
+   issued (including determinism-confirm replays), as opposed to [t_runs]
+   which is the sweep's reported tally; the difference between the global
+   start count and the canonical-prefix sum of [t_started] is exactly the
+   speculative work a parallel sweep discarded. *)
+type task_result = { t_runs : int; t_started : int; t_witness : witness option }
 
 let explore ?(stop_at_first = true) ?domains rt sp =
   let n = List.length sp.messages in
@@ -137,6 +141,10 @@ let explore ?(stop_at_first = true) ?domains rt sp =
     | Fifo_only | Follow_order -> 1
   in
   let ntasks = Array.length orders * prios_per_order in
+  (* Every Engine.run call across all tasks and domains, whether or not its
+     task's result survives the canonical reduce. *)
+  let started = Atomic.make 0 in
+  let emit e = match Obs.current () with Some s -> s.Obs.emit e | None -> () in
   let exception Task_done in
   let run_task ~stop ti =
     let order = orders.(ti / prios_per_order) in
@@ -147,7 +155,12 @@ let explore ?(stop_at_first = true) ?domains rt sp =
       | All_permutations -> Some perms.(ti mod prios_per_order)
     in
     let runs = ref 0 in
+    let my_started = ref 0 in
     let witness = ref None in
+    let note_start () =
+      incr my_started;
+      ignore (Atomic.fetch_and_add started 1)
+    in
     let run ~gap_choice ~len_choice ~hold_choice ~off_choice ~buffer =
       (* a lower-indexed task has already found a witness: this task's
          partial tally is discarded by the reduce, so just bail out *)
@@ -182,10 +195,12 @@ let explore ?(stop_at_first = true) ?domains rt sp =
           max_cycles = sp.max_cycles; faults = Fault.empty; recovery = None }
       in
       incr runs;
+      note_start ();
       match Engine.run ~config rt sched with
       | Engine.Deadlock info ->
         (* replay to confirm determinism before reporting *)
         let confirmed =
+          note_start ();
           match Engine.run ~config rt sched with
           | Engine.Deadlock info' -> info'.Engine.d_cycle = info.Engine.d_cycle
           | _ -> false
@@ -238,8 +253,9 @@ let explore ?(stop_at_first = true) ?domains rt sp =
         done
     in
     (try gaps 0 with Task_done -> ());
-    { t_runs = !runs; t_witness = !witness }
+    { t_runs = !runs; t_started = !my_started; t_witness = !witness }
   in
+  emit (Obs_event.Search_start { algorithm = Routing.name rt; tasks = ntasks });
   let results =
     Wr_pool.map_until ?domains
       ~hit:(fun r -> stop_at_first && r.t_witness <> None)
@@ -251,6 +267,7 @@ let explore ?(stop_at_first = true) ?domains rt sp =
      to its natural end and everything beyond is [None], so the totals and
      the selected witness are byte-identical to the sequential sweep. *)
   let total = ref 0 in
+  let canonical_started = ref 0 in
   let last_witness = ref None in
   (try
      Array.iter
@@ -258,9 +275,26 @@ let explore ?(stop_at_first = true) ?domains rt sp =
          | None -> raise Exit
          | Some r ->
            total := !total + r.t_runs;
+           canonical_started := !canonical_started + r.t_started;
            (match r.t_witness with Some w -> last_witness := Some w | None -> ()))
        results
    with Exit -> ());
+  (* Everything started beyond the canonical prefix was speculative work
+     whose results the reduce above discarded; report it so run totals
+     elsewhere (Engine.run_count, sanitizer summaries) stay exact. *)
+  let cancelled = Atomic.get started - !canonical_started in
+  Engine.note_runs_cancelled cancelled;
+  (match Sanitizer.current () with
+  | Some s -> Sanitizer.note_runs_cancelled s cancelled
+  | None -> ());
+  emit
+    (Obs_event.Search_end
+       {
+         algorithm = Routing.name rt;
+         runs = !total;
+         cancelled;
+         witness = !last_witness <> None;
+       });
   match !last_witness with
   | Some w -> Deadlock_found { runs = !total; witness = w }
   | None -> No_deadlock { runs = !total }

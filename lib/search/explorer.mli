@@ -101,6 +101,14 @@ val explore : ?stop_at_first:bool -> ?domains:int -> Routing.t -> space -> verdi
     count included -- is byte-identical for every domain count.  A witness
     is selected by least task index, never by wall clock, and is replayed
     before being reported.
+
+    Speculative runs beyond the canonical prefix (work a parallel sweep
+    started but whose results the reduce discarded) are reported to
+    {!Engine.note_runs_cancelled} and, when a sanitizer is installed, to
+    {!Sanitizer.note_runs_cancelled}, so global run totals stay exact at
+    any domain count.  When an {!Obs} sink is installed, each call emits
+    [Search_start]/[Search_end] events carrying the task count, canonical
+    run tally, cancelled-run count, and whether a witness was found.
     @raise Engine_bug on [E090]/[E091] internal-consistency failures. *)
 
 val space_size : space -> int

@@ -39,7 +39,13 @@ type msg_state = {
   mutable awarded_now : int;  (* channel awarded this cycle; -1 if none *)
 }
 
-let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
+let outcome_string = function
+  | All_delivered _ -> "all-delivered"
+  | Deadlock _ -> "deadlock"
+  | Cutoff _ -> "cutoff"
+  | Recovered _ -> "recovered"
+
+let run ?(config = Engine.default_config) ?sanitizer ?obs adaptive sched =
   if config.Engine.buffer_capacity < 1 then invalid_arg "Adaptive_engine.run: buffer_capacity < 1";
   let topo = Adaptive.topology adaptive in
   let labels = List.map (fun (m : Schedule.message_spec) -> m.ms_label) sched in
@@ -87,6 +93,33 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
   let nmsg = Array.length marr in
   let nchan = Topology.num_channels topo in
   let faults = Fault.compile ~nchan config.Engine.faults in
+  (* -- observability: same contract as the oblivious engine (hoisted sink,
+        [obs_on]-guarded emission, pure observation) -- *)
+  let obs = match obs with Some _ as s -> s | None -> Obs.current () in
+  let obs_on = obs <> None in
+  let emit e = match obs with Some s -> s.Obs.emit e | None -> () in
+  if obs_on then begin
+    emit
+      (Obs_event.Run_start
+         { engine = "adaptive"; algorithm = Adaptive.name adaptive; messages = nmsg });
+    List.iter
+      (fun (ev : Fault.event) ->
+        emit
+          (match ev with
+          | Fault.Link_failure { channel; at } ->
+            Obs_event.Fault
+              { cycle = at; kind = Obs_event.Planned_failure; channel = Some channel;
+                label = None; duration = 0 }
+          | Fault.Transient_stall { channel; at; duration } ->
+            Obs_event.Fault
+              { cycle = at; kind = Obs_event.Planned_stall; channel = Some channel;
+                label = None; duration }
+          | Fault.Message_drop { label; at } ->
+            Obs_event.Fault
+              { cycle = at; kind = Obs_event.Planned_drop; channel = None;
+                label = Some label; duration = 0 }))
+      (Fault.events config.Engine.faults)
+  end;
   let owner = Array.make nchan (-1) in
   (* arbitration rank per schedule position, precomputed (the priority
      variant used to hash the label on every sort comparison) *)
@@ -157,8 +190,17 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
          marr)
   in
   (* abort-and-drain: release the carved path, drop buffered flits, reset *)
-  let drain m =
-    Vec.iter (fun c -> if owner.(c) = m.idx then owner.(c) <- -1) m.taken;
+  let drain m t =
+    Vec.iter
+      (fun c ->
+        if owner.(c) = m.idx then begin
+          owner.(c) <- -1;
+          if obs_on then
+            emit
+              (Obs_event.Channel_release
+                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c })
+        end)
+      m.taken;
     Vec.clear m.taken;
     Vec.clear m.occ;
     m.head <- -1;
@@ -168,19 +210,32 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
     m.released_up_to <- 0;
     m.wait_since <- max_int
   in
-  let give_up m fate =
-    drain m;
+  let give_up m fate t =
+    drain m t;
     m.gone <- Some fate;
-    incr finished
+    incr finished;
+    if obs_on then
+      emit
+        (Obs_event.Gave_up
+           { cycle = t; label = m.spec.Schedule.ms_label;
+             fate = (match fate with Engine.Dropped -> "dropped" | _ -> "gave-up") })
   in
-  let abort_retry m (r : Engine.recovery) t =
-    drain m;
+  let abort_retry m (r : Engine.recovery) t ~reason =
+    drain m t;
     m.retries <- m.retries + 1;
-    if m.retries > r.Engine.retry_limit then give_up m Engine.Gave_up
+    if obs_on then
+      emit
+        (Obs_event.Abort
+           { cycle = t; label = m.spec.Schedule.ms_label; retries = m.retries; reason });
+    if m.retries > r.Engine.retry_limit then give_up m Engine.Gave_up t
     else begin
       let delay = r.Engine.backoff * (1 lsl min (m.retries - 1) 20) in
       m.attempt_at <- t + delay;
-      m.last_progress <- t + delay
+      m.last_progress <- t + delay;
+      if obs_on then
+        emit
+          (Obs_event.Retry
+             { cycle = t; label = m.spec.Schedule.ms_label; resume_at = m.attempt_at })
     end
   in
   (* -- sanitizer: same invariant sweep as the oblivious engine, over the
@@ -304,11 +359,33 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
       | Some c ->
         m.awarded_now <- c;
         owner.(c) <- m.idx;
+        if obs_on then
+          emit
+            (Obs_event.Channel_acquire
+               { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
+                 waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
         m.wait_since <- max_int;
         m.progressed <- true;
         moved := true
       | None -> ()
     done;
+    (* a claimant that won nothing and just started waiting contributes a
+       wait-for edge on its first (preferred) option *)
+    if obs_on then
+      for a = 0 to !nclaim - 1 do
+        let m = marr.(claim_order.(a)) in
+        if m.awarded_now < 0 && m.wait_since = t then begin
+          match opts_now.(m.idx) with
+          | c :: _ ->
+            emit
+              (Obs_event.Wait_add
+                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
+                   holder =
+                     (if owner.(c) >= 0 then Some marr.(owner.(c)).spec.Schedule.ms_label
+                      else None) })
+          | [] -> ()
+        end
+      done;
     (* -- movement: a down channel neither accepts nor emits flits -- *)
     Array.iter
       (fun m ->
@@ -328,7 +405,20 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
                 m.consumed <- m.consumed + 1;
                 moved := true;
                 m.progressed <- true;
-                if m.consumed = m.spec.Schedule.ms_length then m.delivered_at <- Some t
+                if obs_on then
+                  emit
+                    (Obs_event.Flit
+                       { cycle = t; label = m.spec.Schedule.ms_label; channel = last;
+                         kind = Obs_event.Consume });
+                if m.consumed = m.spec.Schedule.ms_length then begin
+                  m.delivered_at <- Some t;
+                  if obs_on then
+                    emit
+                      (Obs_event.Delivered
+                         { cycle = t; label = m.spec.Schedule.ms_label;
+                           latency =
+                             (match m.injected_at with Some i -> t - i | None -> t) })
+                end
               end
             end
           end;
@@ -343,7 +433,12 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
               m.injected <- 1;
               m.injected_at <- Some t;
               moved := true;
-              m.progressed <- true
+              m.progressed <- true;
+              if obs_on then
+                emit
+                  (Obs_event.Flit
+                     { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
+                       kind = Obs_event.Inject })
             end
             else begin
               Vec.push m.taken c;
@@ -352,7 +447,12 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
               Vec.set m.occ (m.head + 1) 1;
               m.head <- m.head + 1;
               moved := true;
-              m.progressed <- true
+              m.progressed <- true;
+              if obs_on then
+                emit
+                  (Obs_event.Flit
+                     { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
+                       kind = Obs_event.Hop })
             end
           | None -> ());
           (* data flits cascade *)
@@ -363,7 +463,12 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
               Vec.set m.occ i (Vec.get m.occ i - 1);
               Vec.set m.occ (i + 1) (Vec.get m.occ (i + 1) + 1);
               moved := true;
-              m.progressed <- true
+              m.progressed <- true;
+              if obs_on then
+                emit
+                  (Obs_event.Flit
+                     { cycle = t; label = m.spec.Schedule.ms_label;
+                       channel = Vec.get m.taken (i + 1); kind = Obs_event.Cascade })
             end
           done;
           (* injection of subsequent flits *)
@@ -374,7 +479,12 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
             Vec.set m.occ 0 (Vec.get m.occ 0 + 1);
             m.injected <- m.injected + 1;
             moved := true;
-            m.progressed <- true
+            m.progressed <- true;
+            if obs_on then
+              emit
+                (Obs_event.Flit
+                   { cycle = t; label = m.spec.Schedule.ms_label;
+                     channel = Vec.get m.taken 0; kind = Obs_event.Inject })
           end;
           (* release fully-traversed channels *)
           if m.injected = m.spec.Schedule.ms_length then begin
@@ -389,6 +499,11 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
                 owner.(Vec.get m.taken !i) <- -1;
                 moved := true;
                 m.progressed <- true;
+                if obs_on then
+                  emit
+                    (Obs_event.Channel_release
+                       { cycle = t; label = m.spec.Schedule.ms_label;
+                         channel = Vec.get m.taken !i });
                 incr i
               end
               else continue := false
@@ -405,9 +520,14 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
           if active m && m.injected = 0 && Fault.dropped_now faults m.spec.Schedule.ms_label t
           then begin
             perturbed := true;
+            if obs_on then
+              emit
+                (Obs_event.Fault
+                   { cycle = t; kind = Obs_event.Drop_fired; channel = None;
+                     label = Some m.spec.Schedule.ms_label; duration = 0 });
             match config.Engine.recovery with
-            | None -> give_up m Engine.Dropped
-            | Some r -> abort_retry m r t
+            | None -> give_up m Engine.Dropped t
+            | Some r -> abort_retry m r t ~reason:"drop"
           end)
         marr;
     (match config.Engine.recovery with
@@ -419,7 +539,7 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
             if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
             else if t - m.last_progress >= r.Engine.watchdog then begin
               perturbed := true;
-              abort_retry m r t
+              abort_retry m r t ~reason:"watchdog"
             end
           end)
         marr);
@@ -489,7 +609,17 @@ let run ?(config = Engine.default_config) ?sanitizer adaptive sched =
     end;
     incr cycle
   done;
-  match !outcome with Some o -> o | None -> assert false
+  let o = match !outcome with Some o -> o | None -> assert false in
+  if obs_on then begin
+    let final =
+      match o with
+      | All_delivered { finished_at; _ } | Recovered { finished_at; _ } -> finished_at
+      | Deadlock { at_cycle; _ } -> at_cycle
+      | Cutoff { at } -> at
+    in
+    emit (Obs_event.Run_end { cycle = final; outcome = outcome_string o })
+  end;
+  o
 
 let pp_outcome topo ppf = function
   | All_delivered { finished_at; messages } ->

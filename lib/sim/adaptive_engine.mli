@@ -30,9 +30,20 @@ type outcome =
           with every message delivered, dropped, or abandoned (see
           {!Engine.outcome}) *)
 
-val run : ?config:Engine.config -> ?sanitizer:Sanitizer.t -> Adaptive.t -> Schedule.t -> outcome
+val run :
+  ?config:Engine.config ->
+  ?sanitizer:Sanitizer.t ->
+  ?obs:Obs.sink ->
+  Adaptive.t ->
+  Schedule.t ->
+  outcome
 (** [sanitizer] behaves exactly as in {!Engine.run} (per-cycle invariant
     checks E101-E105, falling back to the installed process-wide sanitizer).
+    [obs] likewise mirrors {!Engine.run}: a structured-event sink for this
+    run (falling back to the installed one), emission being pure
+    observation; the engine reports itself as ["adaptive"].  Since options
+    are one-of-many here, a blocked header's wait-for edge is reported on
+    its first (preferred) option.
     Faults and recovery follow {!Engine.run} semantics, with one adaptive
     twist: headers simply never claim a down channel, so adaptive routing
     steers around faults without a reroute function —
@@ -40,5 +51,8 @@ val run : ?config:Engine.config -> ?sanitizer:Sanitizer.t -> Adaptive.t -> Sched
     @raise Invalid_argument on malformed schedules or configs. *)
 
 val is_deadlock : outcome -> bool
+
+val outcome_string : outcome -> string
+(** Stable one-word form, matching {!Engine.outcome_string}. *)
 
 val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit

@@ -123,7 +123,21 @@ let runs_started = Atomic.make 0
 let note_run_started () = Atomic.incr runs_started
 let run_count () = Atomic.get runs_started
 
-let run ?(config = default_config) ?probe ?sanitizer rt sched =
+(* Runs whose results were discarded by a sweep's early cancellation
+   (speculative pool work past the canonical winner).  Tracked separately
+   so [run_count () - cancelled_count ()] is the exact canonical total; the
+   search layer reports its cancellations here. *)
+let runs_cancelled = Atomic.make 0
+let note_runs_cancelled n = if n > 0 then ignore (Atomic.fetch_and_add runs_cancelled n)
+let cancelled_count () = Atomic.get runs_cancelled
+
+let outcome_string = function
+  | All_delivered _ -> "all-delivered"
+  | Deadlock _ -> "deadlock"
+  | Cutoff _ -> "cutoff"
+  | Recovered _ -> "recovered"
+
+let run ?(config = default_config) ?probe ?sanitizer ?obs rt sched =
   if config.buffer_capacity < 1 then invalid_arg "Engine.run: buffer_capacity < 1";
   if config.max_cycles < 1 then invalid_arg "Engine.run: max_cycles < 1";
   (match config.recovery with
@@ -152,6 +166,35 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
   let faults = Fault.compile ~nchan config.faults in
   let cap = config.buffer_capacity in
   note_run_started ();
+  (* -- observability: hoist the sink once per run; every emission site is
+        guarded by [obs_on] so a disabled bus allocates nothing.  Emission
+        is pure observation -- the run takes identical decisions with any
+        sink installed (QCheck-checked in test_obs). -- *)
+  let obs = match obs with Some _ as s -> s | None -> Obs.current () in
+  let obs_on = obs <> None in
+  let emit e = match obs with Some s -> s.Obs.emit e | None -> () in
+  if obs_on then begin
+    emit
+      (Obs_event.Run_start
+         { engine = "oblivious"; algorithm = Routing.name rt; messages = List.length sched });
+    List.iter
+      (fun (ev : Fault.event) ->
+        emit
+          (match ev with
+          | Fault.Link_failure { channel; at } ->
+            Obs_event.Fault
+              { cycle = at; kind = Obs_event.Planned_failure; channel = Some channel;
+                label = None; duration = 0 }
+          | Fault.Transient_stall { channel; at; duration } ->
+            Obs_event.Fault
+              { cycle = at; kind = Obs_event.Planned_stall; channel = Some channel;
+                label = None; duration }
+          | Fault.Message_drop { label; at } ->
+            Obs_event.Fault
+              { cycle = at; kind = Obs_event.Planned_drop; channel = None;
+                label = Some label; duration = 0 }))
+      (Fault.events config.faults)
+  end;
   let msgs =
     List.mapi
       (fun idx (spec : Schedule.message_spec) ->
@@ -336,8 +379,22 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
   in
   (* abort-and-drain: release every held channel, drop buffered flits, and
      return the message to its pre-injection state *)
-  let drain m =
-    Array.iter (fun c -> if owner.(c) = m.idx then owner.(c) <- -1) m.path;
+  let drain m t =
+    Array.iter
+      (fun c ->
+        if owner.(c) = m.idx then begin
+          owner.(c) <- -1;
+          if obs_on then
+            emit
+              (Obs_event.Channel_release
+                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c })
+        end)
+      m.path;
+    if obs_on && m.waiting_for >= 0 then
+      emit
+        (Obs_event.Wait_drop
+           { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
+             waited = t - m.wait_since });
     m.waiting_for <- -1;
     Array.fill m.occ 0 (Array.length m.occ) 0;
     m.head <- -1;
@@ -347,15 +404,24 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
     m.hold_fresh <- false;
     m.released_up_to <- 0
   in
-  let give_up m fate =
-    drain m;
+  let give_up m fate t =
+    drain m t;
     m.gone <- Some fate;
-    incr finished
+    incr finished;
+    if obs_on then
+      emit
+        (Obs_event.Gave_up
+           { cycle = t; label = m.spec.Schedule.ms_label;
+             fate = (match fate with Dropped -> "dropped" | _ -> "gave-up") })
   in
-  let abort_retry m (r : recovery) t =
-    drain m;
+  let abort_retry m (r : recovery) t ~reason =
+    drain m t;
     m.retries <- m.retries + 1;
-    if m.retries > r.retry_limit then give_up m Gave_up
+    if obs_on then
+      emit
+        (Obs_event.Abort
+           { cycle = t; label = m.spec.Schedule.ms_label; retries = m.retries; reason });
+    if m.retries > r.retry_limit then give_up m Gave_up t
     else begin
       (match r.reroute with
       | None -> ()
@@ -367,11 +433,15 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
           m.holds <- holds_for_path m.spec m.path
         | Error _ ->
           (* the degraded network cannot deliver this pair at all *)
-          give_up m Gave_up));
+          give_up m Gave_up t));
       if m.gone = None then begin
         let delay = r.backoff * (1 lsl min (m.retries - 1) 20) in
         m.attempt_at <- t + delay;
-        m.last_progress <- t + delay
+        m.last_progress <- t + delay;
+        if obs_on then
+          emit
+            (Obs_event.Retry
+               { cycle = t; label = m.spec.Schedule.ms_label; resume_at = m.attempt_at })
       end
     end
   in
@@ -393,6 +463,20 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
       let c = wanted_chan m in
       if c >= 0 && eligible m && owner.(c) <> m.idx then begin
         if m.waiting_for <> c then begin
+          if obs_on then begin
+            if m.waiting_for >= 0 then
+              emit
+                (Obs_event.Wait_drop
+                   { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
+                     waited = t - m.wait_since });
+            emit
+              (Obs_event.Wait_add
+                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
+                   holder =
+                     (if owner.(c) >= 0 then
+                        Some marr.(owner.(c)).spec.Schedule.ms_label
+                      else None) })
+          end;
           m.waiting_for <- c;
           m.wait_since <- t
         end;
@@ -404,12 +488,18 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
           incr req_count
         end
       end
-      else
+      else begin
         (* not requesting -- including the case where the message already
            owns the channel it wants and its hop is merely fault-deferred:
            an owner is not a waiter, so it must not keep a seniority stamp
            (the sanitizer's E104 check relies on this) *)
+        if obs_on && m.waiting_for >= 0 then
+          emit
+            (Obs_event.Wait_drop
+               { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
+                 waited = t - m.wait_since });
         m.waiting_for <- -1
+      end
     done;
     (* awards for distinct channels are independent (an award writes only
        [owner.(c)] and the winner's own flags), so the outcome does not
@@ -438,6 +528,11 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
         if !best_j >= 0 then begin
           let m = marr.(!best_j) in
           owner.(c) <- m.idx;
+          if obs_on then
+            emit
+              (Obs_event.Channel_acquire
+                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
+                   waited = t - !best_since });
           m.waiting_for <- -1;
           m.progressed <- true;
           moved := true
@@ -462,7 +557,20 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
             if m.head = k - 1 then m.head <- k;
             moved := true;
             m.progressed <- true;
-            if m.consumed = m.spec.ms_length then m.delivered_at <- Some t
+            if obs_on then
+              emit
+                (Obs_event.Flit
+                   { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(k - 1);
+                     kind = Obs_event.Consume });
+            if m.consumed = m.spec.ms_length then begin
+              m.delivered_at <- Some t;
+              if obs_on then
+                emit
+                  (Obs_event.Delivered
+                     { cycle = t; label = m.spec.Schedule.ms_label;
+                       latency =
+                         (match m.injected_at with Some i -> t - i | None -> t) })
+            end
           end;
           (* header hop into an acquired channel *)
           if
@@ -475,7 +583,12 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
             m.head <- m.head + 1;
             set_hold m m.head;
             moved := true;
-            m.progressed <- true
+            m.progressed <- true;
+            if obs_on then
+              emit
+                (Obs_event.Flit
+                   { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(m.head);
+                     kind = Obs_event.Hop })
           end;
           (* data flits cascade toward the header *)
           let front = min (m.head - 1) (k - 2) in
@@ -484,7 +597,12 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
               m.occ.(i) <- m.occ.(i) - 1;
               m.occ.(i + 1) <- m.occ.(i + 1) + 1;
               moved := true;
-              m.progressed <- true
+              m.progressed <- true;
+              if obs_on then
+                emit
+                  (Obs_event.Flit
+                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(i + 1);
+                       kind = Obs_event.Cascade })
             end
           done;
           (* injection of the next flit at the source *)
@@ -497,14 +615,24 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
                 m.injected_at <- Some t;
                 set_hold m 0;
                 moved := true;
-                m.progressed <- true
+                m.progressed <- true;
+                if obs_on then
+                  emit
+                    (Obs_event.Flit
+                       { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(0);
+                         kind = Obs_event.Inject })
               end
             end
             else if m.occ.(0) < cap && owner.(m.path.(0)) = m.idx && ok 0 then begin
               m.occ.(0) <- m.occ.(0) + 1;
               m.injected <- m.injected + 1;
               moved := true;
-              m.progressed <- true
+              m.progressed <- true;
+              if obs_on then
+                emit
+                  (Obs_event.Flit
+                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(0);
+                       kind = Obs_event.Inject })
             end
           end;
           (* release: channels the whole message has passed through *)
@@ -517,6 +645,10 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
                 owner.(m.path.(!i)) <- -1;
                 moved := true;
                 m.progressed <- true;
+                if obs_on then
+                  emit
+                    (Obs_event.Channel_release
+                       { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(!i) });
                 incr i
               end
               else continue := false
@@ -543,9 +675,14 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
           if active m && m.injected = 0 && Fault.dropped_now faults m.spec.Schedule.ms_label t
           then begin
             perturbed := true;
+            if obs_on then
+              emit
+                (Obs_event.Fault
+                   { cycle = t; kind = Obs_event.Drop_fired; channel = None;
+                     label = Some m.spec.Schedule.ms_label; duration = 0 });
             match config.recovery with
-            | None -> give_up m Dropped
-            | Some r -> abort_retry m r t
+            | None -> give_up m Dropped t
+            | Some r -> abort_retry m r t ~reason:"drop"
           end)
         marr;
     (match config.recovery with
@@ -557,7 +694,7 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
             if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
             else if t - m.last_progress >= r.watchdog then begin
               perturbed := true;
-              abort_retry m r t
+              abort_retry m r t ~reason:"watchdog"
             end
           end)
         marr);
@@ -675,7 +812,17 @@ let run ?(config = default_config) ?probe ?sanitizer rt sched =
     end;
     incr cycle
   done;
-  match !outcome with Some o -> o | None -> assert false
+  let o = match !outcome with Some o -> o | None -> assert false in
+  if obs_on then begin
+    let final =
+      match o with
+      | All_delivered { finished_at; _ } | Recovered { finished_at; _ } -> finished_at
+      | Deadlock d -> d.d_cycle
+      | Cutoff { at; _ } -> at
+    in
+    emit (Obs_event.Run_end { cycle = final; outcome = outcome_string o })
+  end;
+  o
 
 let pp_fate ppf = function
   | Delivered -> Format.pp_print_string ppf "delivered"

@@ -146,12 +146,20 @@ val run :
   ?config:config ->
   ?probe:(snapshot -> unit) ->
   ?sanitizer:Sanitizer.t ->
+  ?obs:Obs.sink ->
   Routing.t ->
   Schedule.t ->
   outcome
 (** Simulate until every message is delivered (or, under faults/recovery,
     dropped or abandoned), the network is permanently blocked, or the cycle
     cutoff fires.
+
+    [obs] attaches a structured-event sink for this run (falling back to the
+    process-wide {!Obs.install}ed one): run start/end, channel
+    acquire/release, wait-for edge add/drop, flit movements, deliveries,
+    aborts/retries, and fault firings.  Emission is pure observation — the
+    run takes identical decisions with any sink attached — and with no sink
+    the event path costs one atomic read per run.
 
     [sanitizer] arms per-cycle invariant checking (flit conservation, buffer
     atomicity, the flit window, wait-for consistency, recovery monotonicity
@@ -182,6 +190,20 @@ val run_count : unit -> int
 val note_run_started : unit -> unit
 (** Count one run towards {!run_count}.  Called by {!run} itself; exposed so
     sibling engines (the adaptive engine) report through the same counter. *)
+
+val cancelled_count : unit -> int
+(** Runs whose results a parallel sweep discarded as cancelled speculative
+    work (tasks past the canonical winner).  [run_count () -
+    cancelled_count ()] is the exact number of runs that contributed to
+    reported results. *)
+
+val note_runs_cancelled : int -> unit
+(** Report [n] runs as cancelled speculative work.  Called by the search
+    layer after each sweep's canonical reduce. *)
+
+val outcome_string : outcome -> string
+(** Stable one-word form: ["all-delivered"], ["deadlock"], ["cutoff"] or
+    ["recovered"] (matches [Obs_event.Run_end]). *)
 
 val pp_fate : Format.formatter -> fate -> unit
 val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit

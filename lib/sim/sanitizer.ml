@@ -9,6 +9,7 @@ type t = {
   count : int Atomic.t;
   runs : int Atomic.t;
   cycles : int Atomic.t;
+  cancelled : int Atomic.t;
 }
 
 exception Violation of Diagnostic.t
@@ -23,9 +24,13 @@ let create ?(fail_fast = false) ?(limit = 100) () =
     count = Atomic.make 0;
     runs = Atomic.make 0;
     cycles = Atomic.make 0;
+    cancelled = Atomic.make 0;
   }
 
 let record s d =
+  (* mirror every trip onto the event bus before a fail-fast raise, so
+     traces show what tripped even when the run is torn down *)
+  Obs.emit (Obs_event.Sanitizer_trip d);
   if s.fail_fast then raise (Violation d);
   let n = 1 + Atomic.fetch_and_add s.count 1 in
   if n <= s.limit then begin
@@ -37,6 +42,9 @@ let record s d =
 let note_run s = Atomic.incr s.runs
 let note_cycle s = Atomic.incr s.cycles
 
+let note_runs_cancelled s n =
+  if n > 0 then ignore (Atomic.fetch_and_add s.cancelled n)
+
 let diagnostics s =
   Mutex.lock s.lock;
   let ds = s.diags in
@@ -46,6 +54,7 @@ let diagnostics s =
 let violation_count s = Atomic.get s.count
 let runs_checked s = Atomic.get s.runs
 let cycles_checked s = Atomic.get s.cycles
+let runs_cancelled s = Atomic.get s.cancelled
 let ok s = Atomic.get s.count = 0
 
 let reset s =
@@ -54,7 +63,8 @@ let reset s =
   Mutex.unlock s.lock;
   Atomic.set s.count 0;
   Atomic.set s.runs 0;
-  Atomic.set s.cycles 0
+  Atomic.set s.cycles 0;
+  Atomic.set s.cancelled 0
 
 let installed : t option ref = ref None
 

@@ -47,6 +47,12 @@ val note_run : t -> unit
 val note_cycle : t -> unit
 (** Engines call these so reports can show how much work was checked. *)
 
+val note_runs_cancelled : t -> int -> unit
+(** Report [n] checked runs as cancelled speculative pool work (results
+    discarded by early cancellation), so {!runs_checked} minus
+    {!runs_cancelled} is the exact canonical total.  The search layer calls
+    this after each sweep's reduce. *)
+
 val diagnostics : t -> Diagnostic.t list
 (** Collected diagnostics, in report order (capped at [limit]). *)
 
@@ -55,6 +61,9 @@ val violation_count : t -> int
 
 val runs_checked : t -> int
 val cycles_checked : t -> int
+
+val runs_cancelled : t -> int
+(** Checked runs later discarded as cancelled speculative pool work. *)
 
 val ok : t -> bool
 (** No violation recorded. *)

@@ -21,14 +21,19 @@ let render ?(max_cycles = 120) topo trace =
   let cells = Hashtbl.create 32 in
   List.iteri
     (fun i (s : Engine.snapshot) ->
-      if i < shown then
-        List.iter
-          (fun (c, owner, n) ->
-            if not (Hashtbl.mem first_seen c) then Hashtbl.add first_seen c i;
+      List.iter
+        (fun (c, owner, n) ->
+          (* Track first occupancy over the whole trace, not just the shown
+             prefix: a channel first occupied after the cutoff still gets a
+             row (all dots plus the truncation marker) instead of silently
+             vanishing from the picture. *)
+          if not (Hashtbl.mem first_seen c) then Hashtbl.add first_seen c i;
+          if i < shown then begin
             let ch = if owner = "" then '?' else owner.[0] in
             let ch = if n > 1 then Char.uppercase_ascii ch else Char.lowercase_ascii ch in
-            Hashtbl.replace cells (c, i) ch)
-          s.Engine.s_occupancy)
+            Hashtbl.replace cells (c, i) ch
+          end)
+        s.Engine.s_occupancy)
     trace;
   let channels =
     Hashtbl.fold (fun c i acc -> (i, c) :: acc) first_seen []
@@ -39,6 +44,7 @@ let render ?(max_cycles = 120) topo trace =
   let name_width =
     List.fold_left (fun w c -> max w (String.length (Topology.channel_name topo c))) 7 channels
   in
+  let truncated = cycles > shown in
   Buffer.add_string buf (Printf.sprintf "%-*s " name_width "channel");
   for i = 0 to shown - 1 do
     Buffer.add_char buf (if i mod 10 = 0 then Char.chr (Char.code '0' + i / 10 mod 10) else ' ')
@@ -51,8 +57,8 @@ let render ?(max_cycles = 120) topo trace =
         Buffer.add_char buf
           (match Hashtbl.find_opt cells (c, i) with Some ch -> ch | None -> '.')
       done;
+      if truncated then Buffer.add_string buf " …";
       Buffer.add_char buf '\n')
     channels;
-  if cycles > shown then
-    Buffer.add_string buf (Printf.sprintf "... (%d more cycles)\n" (cycles - shown));
+  if truncated then Buffer.add_string buf (Printf.sprintf "… +%d cycles\n" (cycles - shown));
   Buffer.contents buf

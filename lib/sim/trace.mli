@@ -22,7 +22,9 @@ val render : ?max_cycles:int -> Topology.t -> t -> string
     cell shows the first letter of the occupying message's label (uppercase
     when the queue holds more than one flit, ['.'] when free).  Rows are
     sorted by first occupancy.  [max_cycles] (default 120) truncates wide
-    timelines. *)
+    timelines; a truncated render marks every row with [" …"] and ends with
+    an explicit ["… +N cycles"] line, and channels first occupied beyond
+    the cutoff still get (empty, marked) rows. *)
 
 val occupancy_of : t -> Topology.channel -> (int * string * int) list
 (** The (cycle, owner, flits) history of one channel. *)

@@ -188,13 +188,15 @@ let test_trace_truncation () =
   let rt = Dimension_order.mesh coords in
   let get, probe = Trace.collector () in
   ignore (Engine.run ~probe rt [ Schedule.message ~length:30 "a" 0 8 ]);
-  let s = Trace.render ~max_cycles:5 coords.Builders.topo (get ()) in
+  let trace = get () in
+  let s = Trace.render ~max_cycles:5 coords.Builders.topo trace in
   let contains needle hay =
     let nl = String.length needle and hl = String.length hay in
     let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
     scan 0
   in
-  check cb "notes truncation" true (contains "more cycles" s)
+  check cb "notes exact truncated cycle count" true
+    (contains (Printf.sprintf "… +%d cycles" (List.length trace - 5)) s)
 
 let () =
   Alcotest.run "extensions"
