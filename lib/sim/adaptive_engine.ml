@@ -471,9 +471,12 @@ let run ?(config = Engine.default_config) ?sanitizer ?obs adaptive sched =
                        channel = Vec.get m.taken (i + 1); kind = Obs_event.Cascade })
             end
           done;
-          (* injection of subsequent flits *)
+          (* injection of subsequent flits; the source pushes at most one
+             flit per cycle, and the header push above already counts as the
+             injection-cycle's flit *)
           if
             m.injected > 0 && m.injected < m.spec.Schedule.ms_length
+            && m.injected_at <> Some t
             && Vec.get m.occ 0 < cap && ok 0
           then begin
             Vec.set m.occ 0 (Vec.get m.occ 0 + 1);

@@ -298,6 +298,165 @@ let prop_faulted_runs_deterministic =
       let config = recovery_config (random_faults ring5 sched params) in
       Engine.run ~config ring5_rt sched = Engine.run ~config ring5_rt sched)
 
+(* ---- differential: singleton-adaptive vs oblivious ---- *)
+
+(* The adaptive engine run with [Adaptive.of_oblivious rt] (every header has
+   exactly one option) must reproduce the oblivious engine exactly.  This is
+   the permanent regression gate for the shared switching kernel: the two
+   entry points are thin shims over one core, and this property pins the
+   singleton case across random schedules, arbitrations, buffer capacities
+   and fault plans.
+
+   The generators stay inside the semantic domain the two engines share by
+   contract: wormhole switching, no adversarial holds, fault plans made of
+   message drops only, recovery without a reroute.  Outside it the engines
+   differ by design -- adaptive headers steer around down channels instead
+   of waiting on them, and ignore per-channel holds -- so link failures and
+   stalls are exercised by their own tests, not this equivalence. *)
+
+let arbitration_gen labels =
+  QCheck.Gen.(
+    let* use_priority = bool in
+    if not use_priority then return Engine.Fifo
+    else
+      let* order = shuffle_l labels in
+      let* keep = 0 -- List.length order in
+      return (Engine.Priority (List.filteri (fun i _ -> i < keep) order)))
+
+let drops_gen labels =
+  QCheck.Gen.(
+    let* mask = flatten_l (List.map (fun l -> map (fun b -> (b, l)) bool) labels) in
+    let drop_list = List.filter_map (fun (b, l) -> if b then Some l else None) mask in
+    let* ats = flatten_l (List.map (fun l -> map (fun t -> (l, t)) (0 -- 40)) drop_list) in
+    return ats)
+
+let recovery_gen =
+  QCheck.Gen.(
+    let* on = bool in
+    if not on then return None
+    else
+      let* watchdog = 8 -- 32 in
+      let* retry_limit = 0 -- 3 in
+      let* backoff = 1 -- 8 in
+      return (Some { Engine.default_recovery with watchdog; retry_limit; backoff }))
+
+let differential_case_gen coords =
+  let sched_gen = schedule_gen coords in
+  QCheck.make
+    ~print:(fun (sched, arb, cap, drops, recovery) ->
+      Printf.sprintf "sched=[%s] arb=%s cap=%d drops=[%s] recovery=%s"
+        (String.concat "; "
+           (List.map
+              (fun (m : Schedule.message_spec) ->
+                Printf.sprintf "%s:%d->%d len=%d at=%d" m.ms_label m.ms_src m.ms_dst
+                  m.ms_length m.ms_inject_at)
+              sched))
+        (match arb with
+        | Engine.Fifo -> "fifo"
+        | Engine.Priority o -> "priority:" ^ String.concat ">" o)
+        cap
+        (String.concat ", "
+           (List.map (fun (l, t) -> Printf.sprintf "%s@%d" l t) drops))
+        (match recovery with
+        | None -> "off"
+        | Some r ->
+          Printf.sprintf "watchdog=%d retries=%d backoff=%d" r.Engine.watchdog
+            r.Engine.retry_limit r.Engine.backoff))
+    QCheck.Gen.(
+      let* sched = QCheck.gen sched_gen in
+      let labels = List.map (fun (m : Schedule.message_spec) -> m.ms_label) sched in
+      let* arb = arbitration_gen labels in
+      let* cap = 1 -- 3 in
+      let* drops = drops_gen labels in
+      let* recovery = recovery_gen in
+      return (sched, arb, cap, drops, recovery))
+
+(* Outcome digest comparable across the two entry points (and stable over
+   the Cutoff/Deadlock payload differences): kind, final cycle, per-message
+   results and retry stats, and for deadlocks the blocked set (label, wanted
+   channels) plus the reported wait cycle. *)
+type digest = {
+  g_kind : string;
+  g_cycle : int;
+  g_messages : (string * int option * int option) list;
+  g_stats : (string * int * string) list;
+  g_blocked : (string * Topology.channel list) list;
+  g_wait_cycle : string list;
+}
+
+let digest_messages ms =
+  List.map
+    (fun (r : Engine.message_result) -> (r.r_label, r.r_injected_at, r.r_delivered_at))
+    ms
+
+let digest_stats ss =
+  List.map
+    (fun (s : Engine.retry_stat) ->
+      (s.t_label, s.t_retries, Format.asprintf "%a" Engine.pp_fate s.t_fate))
+    ss
+
+let digest_oblivious = function
+  | Engine.All_delivered { finished_at; messages } ->
+    { g_kind = "all-delivered"; g_cycle = finished_at; g_messages = digest_messages messages;
+      g_stats = []; g_blocked = []; g_wait_cycle = [] }
+  | Engine.Cutoff { at; _ } ->
+    { g_kind = "cutoff"; g_cycle = at; g_messages = []; g_stats = []; g_blocked = [];
+      g_wait_cycle = [] }
+  | Engine.Recovered { finished_at; messages; stats } ->
+    { g_kind = "recovered"; g_cycle = finished_at; g_messages = digest_messages messages;
+      g_stats = digest_stats stats; g_blocked = []; g_wait_cycle = [] }
+  | Engine.Deadlock d ->
+    {
+      g_kind = "deadlock";
+      g_cycle = d.Engine.d_cycle;
+      g_messages = [];
+      g_stats = [];
+      g_blocked =
+        List.map
+          (fun (b : Engine.blocked_info) -> (b.Engine.b_label, [ b.Engine.b_waiting_for ]))
+          d.Engine.d_blocked;
+      g_wait_cycle = d.Engine.d_wait_cycle;
+    }
+
+let digest_adaptive = function
+  | Adaptive_engine.All_delivered { finished_at; messages } ->
+    { g_kind = "all-delivered"; g_cycle = finished_at; g_messages = digest_messages messages;
+      g_stats = []; g_blocked = []; g_wait_cycle = [] }
+  | Adaptive_engine.Cutoff { at; _ } ->
+    { g_kind = "cutoff"; g_cycle = at; g_messages = []; g_stats = []; g_blocked = [];
+      g_wait_cycle = [] }
+  | Adaptive_engine.Recovered { finished_at; messages; stats } ->
+    { g_kind = "recovered"; g_cycle = finished_at; g_messages = digest_messages messages;
+      g_stats = digest_stats stats; g_blocked = []; g_wait_cycle = [] }
+  | Adaptive_engine.Deadlock { at_cycle; blocked; wait_cycle } ->
+    { g_kind = "deadlock"; g_cycle = at_cycle; g_messages = []; g_stats = [];
+      g_blocked = blocked; g_wait_cycle = wait_cycle }
+
+let prop_singleton_adaptive_matches_oblivious coords rt name =
+  let ad = Adaptive.of_oblivious rt in
+  QCheck.Test.make ~name ~count:(count 80) (differential_case_gen coords)
+    (fun (sched, arbitration, buffer_capacity, drops, recovery) ->
+      let faults =
+        Fault.make (List.map (fun (label, at) -> Fault.Message_drop { label; at }) drops)
+      in
+      let config =
+        { Engine.default_config with arbitration; buffer_capacity; faults; recovery }
+      in
+      let oblivious = digest_oblivious (Engine.run ~config rt sched) in
+      let adaptive = digest_adaptive (Adaptive_engine.run ~config ad sched) in
+      if oblivious <> adaptive then
+        QCheck.Test.fail_reportf "engines diverge: oblivious %s@%d, adaptive %s@%d"
+          oblivious.g_kind oblivious.g_cycle adaptive.g_kind adaptive.g_cycle
+      else true)
+
+let prop_differential_mesh =
+  prop_singleton_adaptive_matches_oblivious mesh3 mesh3_rt
+    "adaptive(of_oblivious) = oblivious (mesh, drops+recovery)"
+
+let prop_differential_ring =
+  prop_singleton_adaptive_matches_oblivious ring5 ring5_rt
+    "adaptive(of_oblivious) = oblivious (ring, deadlock witnesses)"
+
 (* ---- random spanning-tree routing on random digraphs ---- *)
 
 (* Build a random strongly-connected topology (a ring plus random chords)
@@ -488,6 +647,7 @@ let () =
       suite "fault-recovery"
         [ prop_recovery_terminates_mesh; prop_recovery_terminates_ring;
           prop_faulted_runs_deterministic; prop_fault_plan_roundtrip ];
+      suite "differential" [ prop_differential_mesh; prop_differential_ring ];
       suite "random-nets"
         [ prop_random_net_routing_valid; prop_random_net_cdg_sound;
           prop_random_net_acyclic_implies_safe ];
