@@ -92,6 +92,12 @@ let entries =
        (precomputed hold arrays, indexed wait_since, stamped request
        scratch) is exactly what this measures *)
     case "sim/engine-hotpath" (fun () -> Engine.run mesh8_rt mesh_schedule);
+    (* same workload through the kernel's adaptive mode with a singleton
+       option function: the gap between this and engine-hotpath is the
+       price of option lists + first-free claims over seniority awards *)
+    case "sim/adaptive-hotpath"
+      (let ad = Adaptive.of_oblivious mesh8_rt in
+       fun () -> Adaptive_engine.run ad mesh_schedule);
     case "search/figure1-order-sweep" (fun () -> Explorer.explore fig1_rt fig1_quick_space);
     case "search/figure2-witness" (fun () -> Explorer.explore fig2_rt fig2_space);
     (* the same sweep through the Wr_pool, pinned sequential vs parallel;
@@ -136,6 +142,7 @@ let smoke =
     "cdg/build-figure1";
     "cdg/cycles-figure1";
     "sim/engine-hotpath";
+    "sim/adaptive-hotpath";
     "sim/torus5x5-tornado-deadlock";
     "sweep/figure2-seq";
     "sweep/figure2-parallel";

@@ -87,19 +87,37 @@ let write_metrics path results =
   output_string oc (Obs.Metrics.to_prometheus reg);
   close_out oc
 
-let lint_entries json fault_spec all_flag metrics selection =
+let lint_entries json fault_spec reroute_name all_flag metrics selection =
   let all = Registry.entries () in
   (if all_flag && selection <> [] then begin
      Printf.eprintf "--all and an explicit selection are mutually exclusive\n";
      exit 2
    end);
+  (* resolve the reroute inside the same registry instantiation as the
+     entries being linted: Registry.entries builds fresh topologies per
+     call, and the E044 topology check is physical identity (exactly what
+     the engine checks on its config) *)
+  let reroute_rt =
+    match reroute_name with
+    | None -> None
+    | Some n -> (
+      match List.find_opt (fun e -> e.Registry.r_name = n) all with
+      | Some { Registry.r_algo = Registry.Oblivious rt; _ } -> Some rt
+      | Some _ ->
+        Printf.eprintf "--reroute must name an oblivious algorithm (adaptive reroutes are \
+                        pinned static routes)\n";
+        exit 2
+      | None ->
+        Printf.eprintf "unknown reroute algorithm %s (try --list)\n" n;
+        exit 2)
+  in
   let chosen =
     match selection with
     | [] -> all
     | names ->
       List.map
         (fun n ->
-          match Registry.find n with
+          match List.find_opt (fun e -> e.Registry.r_name = n) all with
           | Some e -> e
           | None ->
             Printf.eprintf "unknown algorithm %s (try --list)\n" n;
@@ -121,7 +139,18 @@ let lint_entries json fault_spec all_flag metrics selection =
               ("fault plan does not parse: " ^ msg);
           ])
     in
-    (e, topo, Diagnostic.by_severity (diags @ fault_diags))
+    let reroute_diags =
+      match reroute_rt with
+      | None -> []
+      | Some rt' ->
+        let adaptive =
+          match e.Registry.r_algo with
+          | Registry.Adaptive _ -> true
+          | Registry.Oblivious _ -> false
+        in
+        Lint.reroute ~adaptive ~algorithm:e.Registry.r_name topo rt'
+    in
+    (e, topo, Diagnostic.by_severity (diags @ fault_diags @ reroute_diags))
   in
   (* fan the per-algorithm lints over the pool; Wr_pool.map returns results
      in input order, so diagnostics print in registry-index order for any
@@ -150,11 +179,11 @@ let lint_entries json fault_spec all_flag metrics selection =
   (match metrics with None -> () | Some path -> write_metrics path results);
   if num_errors = 0 then 0 else 1
 
-let main list corpus json fault_spec all_flag domains metrics selection =
+let main list corpus json fault_spec reroute_name all_flag domains metrics selection =
   (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
   if list then list_registry ()
   else if corpus then run_corpus json
-  else lint_entries json fault_spec all_flag metrics selection
+  else lint_entries json fault_spec reroute_name all_flag metrics selection
 
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List the registered algorithms and exit.")
@@ -191,6 +220,15 @@ let faults_arg =
         ~doc:"Also lint this fault plan (Fault.parse syntax) against each selected \
               algorithm's topology.")
 
+let reroute_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "reroute" ] ~docv:"ALGORITHM"
+        ~doc:"Also lint each selected algorithm's interaction with this registry entry used \
+              as a recovery reroute: topology mismatches (E044) and the adaptive \
+              route-pinning note (W044).")
+
 let metrics_arg =
   Arg.(
     value
@@ -209,7 +247,7 @@ let cmd =
   Cmd.v
     (Cmd.info "wormlint" ~doc)
     Term.(
-      const main $ list_flag $ corpus_flag $ json_flag $ faults_arg $ all_flag $ domains_arg
-      $ metrics_arg $ selection_arg)
+      const main $ list_flag $ corpus_flag $ json_flag $ faults_arg $ reroute_arg $ all_flag
+      $ domains_arg $ metrics_arg $ selection_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -97,7 +97,33 @@ let recovery_of faults recovery_on retry_limit watchdog algo =
   else
     let reroute =
       match algo with
-      | `Adaptive _ -> None (* adaptive headers steer around down channels *)
+      | `Adaptive ad -> (
+        (* adaptive headers already steer around down channels; a reroute
+           additionally pins each retried message to a re-certified static
+           route carved from the adaptive function's first choices *)
+        match Fault.failed_channels faults with
+        | [] -> None
+        | failed -> (
+          match
+            Degrade.reroute ~quick:true ~failed (Adaptive.restrict_to_first ad)
+          with
+          | Error e ->
+            Format.printf "degraded routing unavailable: %s@." e;
+            None
+          | Ok d ->
+            Format.printf "%a@." Degrade.pp d;
+            if Degrade.certified d then begin
+              let topo = Adaptive.topology ad in
+              List.iter
+                (fun diag -> Format.printf "%a@." (Diagnostic.pp ~topo ()) diag)
+                (Lint.reroute ~adaptive:true ~algorithm:(Adaptive.name ad) topo
+                   d.Degrade.routing);
+              Some d.Degrade.routing
+            end
+            else begin
+              Format.printf "uncertified degraded routing: retrying with adaptive freedom@.";
+              None
+            end))
       | `Oblivious rt -> (
         match Fault.failed_channels faults with
         | [] -> None
@@ -266,7 +292,7 @@ let main topology dims routing pattern rate length horizon permutation seed buff
         | Adaptive_engine.All_delivered { finished_at; messages } ->
           Format.printf "%d/%d delivered in %d cycles (adaptive)@." (List.length messages)
             (List.length sched) finished_at
-        | o -> Format.printf "%a@." (Adaptive_engine.pp_outcome coords.Builders.topo) o);
+        | o -> Format.printf "%a@." (Engine.pp_outcome coords.Builders.topo) o);
         let pm =
           match out with
           | Adaptive_engine.Deadlock _ | Adaptive_engine.Recovered _ -> true
@@ -275,7 +301,7 @@ let main topology dims routing pattern rate length horizon permutation seed buff
         (* adaptive: no oblivious routing function, so the post-mortem skips
            the CDG classification *)
         finalize_obs ~topo:coords.Builders.topo ~post_mortem:pm obs;
-        if Adaptive_engine.is_deadlock out then exit 3)
+        if Engine.is_deadlock out then exit 3)
   with Failure msg ->
     Printf.eprintf "wormsim: %s\n" msg;
     exit 2

@@ -58,7 +58,7 @@ let () =
         Format.printf "  adaptive: %s delivered at %s@." r.r_label
           (match r.r_delivered_at with Some t -> string_of_int t | None -> "-"))
       messages
-  | o -> Format.printf "%a@." (Adaptive_engine.pp_outcome mesh1.topo) o);
+  | o -> Format.printf "%a@." (Engine.pp_outcome mesh1.topo) o);
 
   Format.printf "@.=== A small wormhole timeline (oblivious XY) ===@.";
   let get, probe = Trace.collector () in

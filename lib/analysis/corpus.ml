@@ -268,6 +268,13 @@ let w043 () =
   in
   (t, Lint.fault_plan t plan)
 
+let w044 () =
+  let mesh = Builders.mesh [ 3; 3 ] in
+  let ad = Adaptive.fully_adaptive_minimal mesh in
+  let reroute = Dimension_order.mesh mesh in
+  ( mesh.Builders.topo,
+    Lint.reroute ~adaptive:true ~algorithm:(Adaptive.name ad) mesh.Builders.topo reroute )
+
 let entries () =
   [
     entry "livelock-triangle" "E001" "the (a,c) walk ping-pongs between a and b" e001;
@@ -292,6 +299,8 @@ let entries () =
       e041;
     entry "fault-ghost-drop" "W042" "drop references a label no message carries" w042;
     entry "fault-double-fail" "W043" "the same channel fails permanently twice" w043;
+    entry "adaptive-pinned-reroute" "W044"
+      "a recovery reroute pins retried paths on an adaptive algorithm" w044;
   ]
 
 let check e =

@@ -141,6 +141,24 @@ let adaptive ?(expect_deadlock_free = true) ?escape ad =
     end);
   Diagnostic.by_severity (List.rev !diags)
 
+let reroute ~adaptive ~algorithm topo rt' =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let ctx = [ ("reroute", Routing.name rt') ] in
+  if Routing.topology rt' != topo then
+    add
+      (Diagnostic.error "E044" (Diagnostic.Algorithm algorithm)
+         "recovery reroute is built on a different topology; the engine rejects this config"
+         ~context:ctx);
+  if adaptive then
+    add
+      (Diagnostic.warning "W044" (Diagnostic.Algorithm algorithm)
+         "adaptive algorithm with a recovery reroute: the reroute pins each retried \
+          message's remaining route (older releases silently ignored it); drop the reroute \
+          to keep full adaptive freedom on retries"
+         ~context:ctx);
+  Diagnostic.by_severity (List.rev !diags)
+
 let fault_plan ?labels topo plan =
   let nchan = Topology.num_channels topo in
   let diags = ref [] in

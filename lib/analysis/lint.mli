@@ -32,7 +32,13 @@
     - [E041] unsatisfiable stall window (the channel is already permanently
       failed when the stall begins)
     - [W042] fault drop references a label outside the given schedule
-    - [W043] redundant permanent failure (channel already failed earlier) *)
+    - [W043] redundant permanent failure (channel already failed earlier)
+    - [E044] recovery reroute built on a different topology than the
+      algorithm it backs up (the engine rejects this config at run time)
+    - [W044] recovery reroute configured for an {e adaptive} algorithm: the
+      reroute pins each retried message's remaining route.  Older releases
+      silently ignored the reroute in adaptive runs, so configs written
+      against that behavior now change meaning -- this warning flags them. *)
 
 val algorithm :
   ?declared_minimal:bool ->
@@ -54,6 +60,13 @@ val adaptive :
   Diagnostic.t list
 (** Validate an adaptive algorithm and, when [escape] is given, check
     Duato's condition: escape connectivity and extended-CDG acyclicity. *)
+
+val reroute :
+  adaptive:bool -> algorithm:string -> Topology.t -> Routing.t -> Diagnostic.t list
+(** Lint a recovery reroute function against the algorithm it backs up:
+    topology mismatch ([E044]) and the adaptive route-pinning interaction
+    ([W044]).  [adaptive] says whether the primary algorithm routes
+    adaptively; [algorithm] names it in the diagnostics. *)
 
 val fault_plan : ?labels:string list -> Topology.t -> Fault.plan -> Diagnostic.t list
 (** Lint a fault plan against a topology: out-of-range channels,

@@ -650,7 +650,7 @@ let exp_a ?(quick = false) ppf =
         (List.length messages) finished_at;
       true
     | o ->
-      Format.fprintf ppf "stress: %a@\n" (Adaptive_engine.pp_outcome mesh2.Builders.topo) o;
+      Format.fprintf ppf "stress: %a@\n" (Engine.pp_outcome mesh2.Builders.topo) o;
       false
   in
   [

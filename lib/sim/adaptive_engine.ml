@@ -1,646 +1,19 @@
-type outcome =
+(* Facade over Switch_core's adaptive mode; see adaptive_engine.mli and
+   DESIGN.md section 12 for the kernel split. *)
+
+type outcome = Switch_core.outcome =
   | All_delivered of { finished_at : int; messages : Engine.message_result list }
-  | Deadlock of {
-      at_cycle : int;
-      blocked : (string * Topology.channel list) list;
-      wait_cycle : string list;
-    }
-  | Cutoff of { at : int }
+  | Deadlock of Engine.deadlock_info
+  | Cutoff of { at : int; messages : Engine.message_result list }
   | Recovered of {
       finished_at : int;
       messages : Engine.message_result list;
       stats : Engine.retry_stat list;
     }
 
-let is_deadlock = function
-  | Deadlock _ -> true
-  | All_delivered _ | Cutoff _ | Recovered _ -> false
+let run ?config ?sanitizer ?obs ad sched =
+  Switch_core.run ?config ?sanitizer ?obs (Switch_core.Adaptive ad) sched
 
-(* Message state: [taken] is the path the header has carved so far; flits
-   occupy a suffix window of it, exactly as in the oblivious engine. *)
-type msg_state = {
-  spec : Schedule.message_spec;
-  idx : int;
-  taken : Topology.channel Vec.t;
-  occ : int Vec.t;
-  mutable head : int;  (* index into taken; -1 before injection; = length taken when consumed *)
-  mutable arrived : bool;  (* header reached the destination node *)
-  mutable injected : int;
-  mutable consumed : int;
-  mutable injected_at : int option;
-  mutable delivered_at : int option;
-  mutable released_up_to : int;
-  mutable wait_since : int;  (* cycle the header last started waiting *)
-  mutable attempt_at : int;  (* earliest cycle the source may (re)start requesting *)
-  mutable retries : int;
-  mutable gone : Engine.fate option;
-  mutable last_progress : int;
-  mutable progressed : bool;
-  mutable awarded_now : int;  (* channel awarded this cycle; -1 if none *)
-}
-
-let outcome_string = function
-  | All_delivered _ -> "all-delivered"
-  | Deadlock _ -> "deadlock"
-  | Cutoff _ -> "cutoff"
-  | Recovered _ -> "recovered"
-
-let run ?(config = Engine.default_config) ?sanitizer ?obs adaptive sched =
-  if config.Engine.buffer_capacity < 1 then invalid_arg "Adaptive_engine.run: buffer_capacity < 1";
-  let topo = Adaptive.topology adaptive in
-  let labels = List.map (fun (m : Schedule.message_spec) -> m.ms_label) sched in
-  if List.length (List.sort_uniq compare labels) <> List.length labels then
-    invalid_arg "Adaptive_engine.run: duplicate message labels";
-  List.iter
-    (fun (m : Schedule.message_spec) ->
-      if m.ms_length < 1 then invalid_arg "Adaptive_engine.run: length < 1";
-      if m.ms_src = m.ms_dst then invalid_arg "Adaptive_engine.run: source equals destination")
-    sched;
-  (match config.Engine.recovery with
-  | None -> ()
-  | Some r ->
-    if r.Engine.watchdog < 1 then invalid_arg "Adaptive_engine.run: recovery watchdog < 1";
-    if r.Engine.retry_limit < 0 then invalid_arg "Adaptive_engine.run: recovery retry_limit < 0";
-    if r.Engine.backoff < 1 then invalid_arg "Adaptive_engine.run: recovery backoff < 1");
-  let cap = config.Engine.buffer_capacity in
-  let marr =
-    Array.of_list
-      (List.mapi
-         (fun idx (spec : Schedule.message_spec) ->
-           {
-             spec;
-             idx;
-             taken = Vec.create ();
-             occ = Vec.create ();
-             head = -1;
-             arrived = false;
-             injected = 0;
-             consumed = 0;
-             injected_at = None;
-             delivered_at = None;
-             released_up_to = 0;
-             wait_since = max_int;
-             attempt_at = spec.ms_inject_at;
-             retries = 0;
-             gone = None;
-             last_progress = 0;
-             progressed = false;
-             awarded_now = -1;
-           })
-         sched)
-  in
-  Engine.note_run_started ();
-  let nmsg = Array.length marr in
-  let nchan = Topology.num_channels topo in
-  let faults = Fault.compile ~nchan config.Engine.faults in
-  (* -- observability: same contract as the oblivious engine (hoisted sink,
-        [obs_on]-guarded emission, pure observation) -- *)
-  let obs = match obs with Some _ as s -> s | None -> Obs.current () in
-  let obs_on = obs <> None in
-  let emit e = match obs with Some s -> s.Obs.emit e | None -> () in
-  if obs_on then begin
-    emit
-      (Obs_event.Run_start
-         { engine = "adaptive"; algorithm = Adaptive.name adaptive; messages = nmsg });
-    List.iter
-      (fun (ev : Fault.event) ->
-        emit
-          (match ev with
-          | Fault.Link_failure { channel; at } ->
-            Obs_event.Fault
-              { cycle = at; kind = Obs_event.Planned_failure; channel = Some channel;
-                label = None; duration = 0 }
-          | Fault.Transient_stall { channel; at; duration } ->
-            Obs_event.Fault
-              { cycle = at; kind = Obs_event.Planned_stall; channel = Some channel;
-                label = None; duration }
-          | Fault.Message_drop { label; at } ->
-            Obs_event.Fault
-              { cycle = at; kind = Obs_event.Planned_drop; channel = None;
-                label = Some label; duration = 0 }))
-      (Fault.events config.Engine.faults)
-  end;
-  let owner = Array.make nchan (-1) in
-  (* arbitration rank per schedule position, precomputed (the priority
-     variant used to hash the label on every sort comparison) *)
-  let rank_of =
-    match config.Engine.arbitration with
-    | Engine.Fifo -> Array.init nmsg (fun i -> i)
-    | Engine.Priority order ->
-      let pos = Hashtbl.create 8 in
-      List.iteri (fun i l -> if not (Hashtbl.mem pos l) then Hashtbl.add pos l i) order;
-      let worst = List.length order in
-      Array.map
-        (fun m ->
-          match Hashtbl.find_opt pos m.spec.Schedule.ms_label with
-          | Some i -> (i * nmsg) + m.idx
-          | None -> (worst * nmsg) + m.idx)
-        marr
-  in
-  (* per-cycle scratch, reused: header option lists and the claimant order
-     (no per-cycle list build + List.sort + awarded Hashtbl) *)
-  let opts_now = Array.make nmsg [] in
-  let claim_order = Array.make nmsg 0 in
-  let active m = m.delivered_at = None && m.gone = None in
-  (* current option list of a message's header, [] when it cannot move.
-     Channels that are down (failed or stalled) are not offered: adaptive
-     routing steers around faults by construction. *)
-  let current_options m t =
-    if (not (active m)) || m.arrived then []
-    else if m.head = -1 then
-      if m.injected = 0 && t >= m.attempt_at then
-        Adaptive.options adaptive (Routing.Inject m.spec.ms_src) m.spec.ms_dst
-        |> List.filter (fun c -> not (Fault.down faults c t))
-      else []
-    else begin
-      let c = Vec.get m.taken m.head in
-      (* the header cannot leave a down channel, so don't let it claim the
-         next one either; with Fault.down a pure function of (channel, t)
-         an award therefore always implies the hop can complete *)
-      if Fault.down faults c t then []
-      else if Topology.dst topo c = m.spec.Schedule.ms_dst then []
-      else
-        Adaptive.options adaptive (Routing.From c) m.spec.ms_dst
-        |> List.filter (fun c -> not (Fault.down faults c t))
-    end
-  in
-  let moved = ref false in
-  let finished = ref 0 in
-  let perturbed = ref false in
-  let results () =
-    Array.to_list
-      (Array.map
-         (fun m ->
-           {
-             Engine.r_label = m.spec.Schedule.ms_label;
-             r_injected_at = m.injected_at;
-             r_delivered_at = m.delivered_at;
-           })
-         marr)
-  in
-  let stats () =
-    Array.to_list
-      (Array.map
-         (fun m ->
-           {
-             Engine.t_label = m.spec.Schedule.ms_label;
-             t_retries = m.retries;
-             t_fate = (match m.gone with Some f -> f | None -> Engine.Delivered);
-           })
-         marr)
-  in
-  (* abort-and-drain: release the carved path, drop buffered flits, reset *)
-  let drain m t =
-    Vec.iter
-      (fun c ->
-        if owner.(c) = m.idx then begin
-          owner.(c) <- -1;
-          if obs_on then
-            emit
-              (Obs_event.Channel_release
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c })
-        end)
-      m.taken;
-    Vec.clear m.taken;
-    Vec.clear m.occ;
-    m.head <- -1;
-    m.arrived <- false;
-    m.injected <- 0;
-    m.consumed <- 0;
-    m.released_up_to <- 0;
-    m.wait_since <- max_int
-  in
-  let give_up m fate t =
-    drain m t;
-    m.gone <- Some fate;
-    incr finished;
-    if obs_on then
-      emit
-        (Obs_event.Gave_up
-           { cycle = t; label = m.spec.Schedule.ms_label;
-             fate = (match fate with Engine.Dropped -> "dropped" | _ -> "gave-up") })
-  in
-  let abort_retry m (r : Engine.recovery) t ~reason =
-    drain m t;
-    m.retries <- m.retries + 1;
-    if obs_on then
-      emit
-        (Obs_event.Abort
-           { cycle = t; label = m.spec.Schedule.ms_label; retries = m.retries; reason });
-    if m.retries > r.Engine.retry_limit then give_up m Engine.Gave_up t
-    else begin
-      let delay = r.Engine.backoff * (1 lsl min (m.retries - 1) 20) in
-      m.attempt_at <- t + delay;
-      m.last_progress <- t + delay;
-      if obs_on then
-        emit
-          (Obs_event.Retry
-             { cycle = t; label = m.spec.Schedule.ms_label; resume_at = m.attempt_at })
-    end
-  in
-  (* -- sanitizer: same invariant sweep as the oblivious engine, over the
-        carved [taken] path (see Sanitizer's doc for the code table) -- *)
-  let sanitizer = match sanitizer with Some s -> Some s | None -> Sanitizer.current () in
-  (match sanitizer with Some s -> Sanitizer.note_run s | None -> ());
-  let sanitize t =
-    match sanitizer with
-    | None -> ()
-    | Some san ->
-      Sanitizer.note_cycle san;
-      let ctx = [ ("algorithm", Adaptive.name adaptive); ("cycle", string_of_int t) ] in
-      let viol code m msg =
-        Sanitizer.record san
-          (Diagnostic.error code (Diagnostic.Message m.spec.Schedule.ms_label) msg ~context:ctx)
-      in
-      Array.iter
-        (fun m ->
-          let k = Vec.length m.taken in
-          let buffered = ref 0 in
-          Vec.iter (fun n -> buffered := !buffered + n) m.occ;
-          if m.gone = None && m.injected <> m.consumed + !buffered then
-            viol "E101" m
-              (Printf.sprintf "flit conservation broken: injected %d <> consumed %d + buffered %d"
-                 m.injected m.consumed !buffered);
-          for i = 0 to k - 1 do
-            let n = Vec.get m.occ i in
-            if n < 0 || n > cap then
-              viol "E102" m
-                (Printf.sprintf "buffer occupancy %d outside [0, %d] at hop %d" n cap i);
-            if n > 0 && owner.(Vec.get m.taken i) <> m.idx then
-              viol "E102" m
-                (Printf.sprintf "flits buffered on %s which the message does not own"
-                   (Topology.channel_name topo (Vec.get m.taken i)));
-            if n > 0 && (i < m.released_up_to || i > m.head) then
-              viol "E103" m
-                (Printf.sprintf "flits at hop %d outside the live window [%d, %d]" i
-                   m.released_up_to (min m.head (k - 1)))
-          done;
-          let release_bound = if m.arrived then k else max m.head 0 in
-          if m.released_up_to < 0 || m.released_up_to > release_bound then
-            viol "E103" m
-              (Printf.sprintf "release watermark %d outside [0, %d]" m.released_up_to
-                 release_bound);
-          if m.wait_since <> max_int && m.wait_since > t then
-            viol "E104" m
-              (Printf.sprintf "wait timestamp %d is in the future" m.wait_since);
-          if m.gone <> None && m.wait_since <> max_int then
-            viol "E104" m "abandoned message still has a wait timestamp";
-          match config.Engine.recovery with
-          | Some r when m.gone = None ->
-            if m.retries > r.Engine.retry_limit then
-              viol "E105" m
-                (Printf.sprintf "live message has %d retries, over the limit %d" m.retries
-                   r.Engine.retry_limit);
-            if active m && t - m.last_progress >= r.Engine.watchdog then
-              viol "E105" m
-                (Printf.sprintf
-                   "watchdog bound broken: no progress since cycle %d (watchdog %d)"
-                   m.last_progress r.Engine.watchdog)
-          | Some _ | None -> ())
-        marr;
-      Array.iteri
-        (fun c own ->
-          if own >= 0 then
-            let m = marr.(own) in
-            if not (Vec.exists (fun c' -> c' = c) m.taken) then
-              viol "E102" m
-                (Printf.sprintf "owns %s which is not on its carved path"
-                   (Topology.channel_name topo c)))
-        owner
-  in
-  let cycle = ref 0 in
-  let outcome = ref None in
-  while !outcome = None do
-    let t = !cycle in
-    moved := false;
-    Array.iter (fun m -> m.progressed <- false) marr;
-    (* -- allocation: headers claim their first free option; earlier
-          waiters first, then priority -- *)
-    let nclaim = ref 0 in
-    for j = 0 to nmsg - 1 do
-      let m = marr.(j) in
-      m.awarded_now <- -1;
-      let opts = current_options m t in
-      opts_now.(j) <- opts;
-      if opts <> [] then begin
-        if m.wait_since = max_int then m.wait_since <- t;
-        claim_order.(!nclaim) <- j;
-        incr nclaim
-      end
-    done;
-    (* insertion sort of the claimants by (wait_since, rank): keys are
-       unique (rank embeds the schedule index), so this matches the old
-       [List.sort] order exactly, without the per-cycle list build *)
-    for a = 1 to !nclaim - 1 do
-      let j = claim_order.(a) in
-      let kw = marr.(j).wait_since in
-      let kr = rank_of.(j) in
-      let b = ref (a - 1) in
-      while
-        !b >= 0
-        &&
-        let j' = claim_order.(!b) in
-        let w' = marr.(j').wait_since in
-        w' > kw || (w' = kw && rank_of.(j') > kr)
-      do
-        claim_order.(!b + 1) <- claim_order.(!b);
-        decr b
-      done;
-      claim_order.(!b + 1) <- j
-    done;
-    for a = 0 to !nclaim - 1 do
-      let m = marr.(claim_order.(a)) in
-      let free =
-        List.find_opt
-          (fun c -> owner.(c) = -1 && not (Vec.exists (fun c' -> c' = c) m.taken))
-          opts_now.(m.idx)
-      in
-      match free with
-      | Some c ->
-        m.awarded_now <- c;
-        owner.(c) <- m.idx;
-        if obs_on then
-          emit
-            (Obs_event.Channel_acquire
-               { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                 waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
-        m.wait_since <- max_int;
-        m.progressed <- true;
-        moved := true
-      | None -> ()
-    done;
-    (* a claimant that won nothing and just started waiting contributes a
-       wait-for edge on its first (preferred) option *)
-    if obs_on then
-      for a = 0 to !nclaim - 1 do
-        let m = marr.(claim_order.(a)) in
-        if m.awarded_now < 0 && m.wait_since = t then begin
-          match opts_now.(m.idx) with
-          | c :: _ ->
-            emit
-              (Obs_event.Wait_add
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                   holder =
-                     (if owner.(c) >= 0 then Some marr.(owner.(c)).spec.Schedule.ms_label
-                      else None) })
-          | [] -> ()
-        end
-      done;
-    (* -- movement: a down channel neither accepts nor emits flits -- *)
-    Array.iter
-      (fun m ->
-        if active m then begin
-          let ok i = not (Fault.down faults (Vec.get m.taken i) t) in
-          let k = Vec.length m.taken in
-          (* consumption at the destination *)
-          if k > 0 then begin
-            let last = Vec.get m.taken (k - 1) in
-            if Topology.dst topo last = m.spec.Schedule.ms_dst && m.head >= k - 1 then begin
-              if m.head = k - 1 then begin
-                m.arrived <- true;
-                m.head <- k
-              end;
-              if Vec.get m.occ (k - 1) > 0 && ok (k - 1) then begin
-                Vec.set m.occ (k - 1) (Vec.get m.occ (k - 1) - 1);
-                m.consumed <- m.consumed + 1;
-                moved := true;
-                m.progressed <- true;
-                if obs_on then
-                  emit
-                    (Obs_event.Flit
-                       { cycle = t; label = m.spec.Schedule.ms_label; channel = last;
-                         kind = Obs_event.Consume });
-                if m.consumed = m.spec.Schedule.ms_length then begin
-                  m.delivered_at <- Some t;
-                  if obs_on then
-                    emit
-                      (Obs_event.Delivered
-                         { cycle = t; label = m.spec.Schedule.ms_label;
-                           latency =
-                             (match m.injected_at with Some i -> t - i | None -> t) })
-                end
-              end
-            end
-          end;
-          (* header hop into a channel awarded this cycle *)
-          (match (if m.awarded_now >= 0 then Some m.awarded_now else None) with
-          | Some c ->
-            if m.head = -1 then begin
-              (* header injection *)
-              Vec.push m.taken c;
-              Vec.push m.occ 1;
-              m.head <- 0;
-              m.injected <- 1;
-              m.injected_at <- Some t;
-              moved := true;
-              m.progressed <- true;
-              if obs_on then
-                emit
-                  (Obs_event.Flit
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                       kind = Obs_event.Inject })
-            end
-            else begin
-              Vec.push m.taken c;
-              Vec.push m.occ 0;
-              Vec.set m.occ m.head (Vec.get m.occ m.head - 1);
-              Vec.set m.occ (m.head + 1) 1;
-              m.head <- m.head + 1;
-              moved := true;
-              m.progressed <- true;
-              if obs_on then
-                emit
-                  (Obs_event.Flit
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                       kind = Obs_event.Hop })
-            end
-          | None -> ());
-          (* data flits cascade *)
-          let k = Vec.length m.taken in
-          let front = min (m.head - 1) (k - 2) in
-          for i = front downto 0 do
-            if Vec.get m.occ i > 0 && Vec.get m.occ (i + 1) < cap && ok i && ok (i + 1) then begin
-              Vec.set m.occ i (Vec.get m.occ i - 1);
-              Vec.set m.occ (i + 1) (Vec.get m.occ (i + 1) + 1);
-              moved := true;
-              m.progressed <- true;
-              if obs_on then
-                emit
-                  (Obs_event.Flit
-                     { cycle = t; label = m.spec.Schedule.ms_label;
-                       channel = Vec.get m.taken (i + 1); kind = Obs_event.Cascade })
-            end
-          done;
-          (* injection of subsequent flits; the source pushes at most one
-             flit per cycle, and the header push above already counts as the
-             injection-cycle's flit *)
-          if
-            m.injected > 0 && m.injected < m.spec.Schedule.ms_length
-            && m.injected_at <> Some t
-            && Vec.get m.occ 0 < cap && ok 0
-          then begin
-            Vec.set m.occ 0 (Vec.get m.occ 0 + 1);
-            m.injected <- m.injected + 1;
-            moved := true;
-            m.progressed <- true;
-            if obs_on then
-              emit
-                (Obs_event.Flit
-                   { cycle = t; label = m.spec.Schedule.ms_label;
-                     channel = Vec.get m.taken 0; kind = Obs_event.Inject })
-          end;
-          (* release fully-traversed channels *)
-          if m.injected = m.spec.Schedule.ms_length then begin
-            let i = ref m.released_up_to in
-            let continue = ref true in
-            while !continue && !i < Vec.length m.taken do
-              if
-                Vec.get m.occ !i = 0
-                && owner.(Vec.get m.taken !i) = m.idx
-                && (!i < m.head || m.arrived)
-              then begin
-                owner.(Vec.get m.taken !i) <- -1;
-                moved := true;
-                m.progressed <- true;
-                if obs_on then
-                  emit
-                    (Obs_event.Channel_release
-                       { cycle = t; label = m.spec.Schedule.ms_label;
-                         channel = Vec.get m.taken !i });
-                incr i
-              end
-              else continue := false
-            done;
-            m.released_up_to <- !i
-          end;
-          if m.delivered_at = Some t then incr finished
-        end)
-      marr;
-    (* -- faults and recovery: source-side drops, then the watchdog -- *)
-    if not (Fault.is_empty config.Engine.faults) then
-      Array.iter
-        (fun m ->
-          if active m && m.injected = 0 && Fault.dropped_now faults m.spec.Schedule.ms_label t
-          then begin
-            perturbed := true;
-            if obs_on then
-              emit
-                (Obs_event.Fault
-                   { cycle = t; kind = Obs_event.Drop_fired; channel = None;
-                     label = Some m.spec.Schedule.ms_label; duration = 0 });
-            match config.Engine.recovery with
-            | None -> give_up m Engine.Dropped t
-            | Some r -> abort_retry m r t ~reason:"drop"
-          end)
-        marr;
-    (match config.Engine.recovery with
-    | None -> ()
-    | Some r ->
-      Array.iter
-        (fun m ->
-          if active m then begin
-            if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
-            else if t - m.last_progress >= r.Engine.watchdog then begin
-              perturbed := true;
-              abort_retry m r t ~reason:"watchdog"
-            end
-          end)
-        marr);
-    (* -- end of cycle: sanitizer, then termination -- *)
-    sanitize t;
-    if !finished = nmsg then
-      outcome :=
-        Some
-          (if !perturbed then
-             Recovered { finished_at = t; messages = results (); stats = stats () }
-           else All_delivered { finished_at = t; messages = results () })
-    else if t >= config.Engine.max_cycles then outcome := Some (Cutoff { at = t })
-    else if not !moved then begin
-      let future =
-        Array.exists (fun m -> active m && m.injected = 0 && t < m.attempt_at) marr
-        (* with recovery on, any live message is future work: the watchdog
-           will eventually abort it *)
-        || (Option.is_some config.Engine.recovery && Array.exists active marr)
-        (* a stall window about to close or an unfired event can unblock *)
-        || Fault.change_after faults t
-      in
-      if not future then begin
-        let blocked =
-          Array.to_list marr
-          |> List.filter_map (fun m ->
-                 if not (active m) then None
-                 else
-                   match current_options m t with
-                   | [] -> None
-                   | opts -> Some (m.spec.Schedule.ms_label, opts))
-        in
-        (* chase wait-for edges through the first blocked option's owner *)
-        let next i =
-          match current_options marr.(i) t with
-          | c :: _ when owner.(c) >= 0 && owner.(c) <> i -> Some owner.(c)
-          | _ -> None
-        in
-        let wait_cycle =
-          let rec chase seen i =
-            match next i with
-            | None -> None
-            | Some j ->
-              if List.mem j seen then
-                Some
-                  (let rec drop = function
-                     | [] -> []
-                     | x :: rest -> if x = j then x :: rest else drop rest
-                   in
-                   drop (List.rev (i :: seen)))
-              else chase (i :: seen) j
-          in
-          let starts =
-            Array.to_list marr
-            |> List.filter_map (fun m -> if active m then Some m.idx else None)
-          in
-          let rec try_starts = function
-            | [] -> []
-            | s :: rest -> (
-              match chase [] s with
-              | Some c -> List.map (fun i -> marr.(i).spec.Schedule.ms_label) c
-              | None -> try_starts rest)
-          in
-          try_starts starts
-        in
-        outcome := Some (Deadlock { at_cycle = t; blocked; wait_cycle })
-      end
-    end;
-    incr cycle
-  done;
-  let o = match !outcome with Some o -> o | None -> assert false in
-  if obs_on then begin
-    let final =
-      match o with
-      | All_delivered { finished_at; _ } | Recovered { finished_at; _ } -> finished_at
-      | Deadlock { at_cycle; _ } -> at_cycle
-      | Cutoff { at } -> at
-    in
-    emit (Obs_event.Run_end { cycle = final; outcome = outcome_string o })
-  end;
-  o
-
-let pp_outcome topo ppf = function
-  | All_delivered { finished_at; messages } ->
-    Format.fprintf ppf "all %d messages delivered by cycle %d" (List.length messages)
-      finished_at
-  | Cutoff { at } -> Format.fprintf ppf "cutoff at cycle %d" at
-  | Recovered { finished_at; stats; _ } ->
-    let count f = List.length (List.filter (fun s -> s.Engine.t_fate = f) stats) in
-    let retries = List.fold_left (fun acc s -> acc + s.Engine.t_retries) 0 stats in
-    Format.fprintf ppf
-      "recovered by cycle %d: %d delivered, %d dropped, %d gave up (%d retries total)"
-      finished_at (count Engine.Delivered) (count Engine.Dropped) (count Engine.Gave_up)
-      retries
-  | Deadlock { at_cycle; blocked; wait_cycle } ->
-    Format.fprintf ppf "ADAPTIVE DEADLOCK at cycle %d; wait cycle: %s@\n" at_cycle
-      (String.concat " -> " wait_cycle);
-    List.iter
-      (fun (l, opts) ->
-        Format.fprintf ppf "  %s blocked on {%s}@\n" l
-          (String.concat ", " (List.map (Topology.channel_name topo) opts)))
-      blocked
+let is_deadlock = Switch_core.is_deadlock
+let outcome_string = Switch_core.outcome_string
+let pp_outcome = Switch_core.pp_outcome

@@ -1,26 +1,28 @@
 (** Flit-level simulation of adaptive wormhole routing.
 
-    Same switching model as {!Engine} (atomic buffer allocation, one hop
-    per cycle, wormhole worms, starvation-free arbitration), but the header
-    chooses dynamically among the routing function's permitted output
-    channels: each cycle every blocked header claims the first {e free}
-    channel in its option list, with contention resolved by waiting time
-    and then by an explicit priority order.  Data flits follow the path the
-    header actually took.
+    A thin facade over {!Switch_core}'s adaptive mode: the same switching
+    model as {!Engine} (atomic buffer allocation, one hop per cycle,
+    wormhole worms, starvation-free arbitration), but the header chooses
+    dynamically among the routing function's permitted output channels:
+    each cycle every blocked header claims the first {e free} channel in
+    its option list, with contention resolved by waiting time and then by
+    an explicit priority order.  Data flits follow the path the header
+    actually took.
+
+    Since the kernel unification, the outcome type {e is}
+    {!Engine.outcome} (an equation on {!Switch_core.outcome}): adaptive
+    deadlock witnesses carry the same [deadlock_info] record, with
+    [b_wants] listing the full option set the header was blocked on, and
+    [Cutoff] now reports per-message results.
 
     Restricted to adaptive functions whose choices never revisit a channel
     (every minimal algorithm qualifies); {!Adaptive.validate} should be
     checked beforehand. *)
 
-type outcome =
+type outcome = Switch_core.outcome =
   | All_delivered of { finished_at : int; messages : Engine.message_result list }
-  | Deadlock of {
-      at_cycle : int;
-      blocked : (string * Topology.channel list) list;
-          (** message, the options it is blocked on *)
-      wait_cycle : string list;
-    }
-  | Cutoff of { at : int }
+  | Deadlock of Engine.deadlock_info
+  | Cutoff of { at : int; messages : Engine.message_result list }
   | Recovered of {
       finished_at : int;
       messages : Engine.message_result list;
@@ -37,22 +39,35 @@ val run :
   Adaptive.t ->
   Schedule.t ->
   outcome
-(** [sanitizer] behaves exactly as in {!Engine.run} (per-cycle invariant
+(** [run ad sched] is [Switch_core.run (Adaptive ad) sched].
+
+    [sanitizer] behaves exactly as in {!Engine.run} (per-cycle invariant
     checks E101-E105, falling back to the installed process-wide sanitizer).
     [obs] likewise mirrors {!Engine.run}: a structured-event sink for this
     run (falling back to the installed one), emission being pure
     observation; the engine reports itself as ["adaptive"].  Since options
     are one-of-many here, a blocked header's wait-for edge is reported on
     its first (preferred) option.
+
     Faults and recovery follow {!Engine.run} semantics, with one adaptive
     twist: headers simply never claim a down channel, so adaptive routing
-    steers around faults without a reroute function —
-    [config.recovery.reroute] is ignored here.
+    steers around faults even without a reroute function.  When
+    [config.recovery.reroute] {e is} provided, an aborted message's
+    recomputed path is pinned: the retried header claims exactly the
+    reroute's channels (it no longer explores).  Use wormlint's W044
+    diagnostic to flag configurations that set a reroute expecting the old
+    ignore-it behavior.
+
+    [config.switching] and per-message adversarial holds ([ms_holds]) are
+    ignored: adaptive runs always switch wormhole.
+
     @raise Invalid_argument on malformed schedules or configs. *)
 
 val is_deadlock : outcome -> bool
+  [@@ocaml.deprecated "use Engine.is_deadlock (same outcome type)"]
 
 val outcome_string : outcome -> string
-(** Stable one-word form, matching {!Engine.outcome_string}. *)
+  [@@ocaml.deprecated "use Engine.outcome_string (same outcome type)"]
 
 val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit
+  [@@ocaml.deprecated "use Engine.pp_outcome (same outcome type)"]

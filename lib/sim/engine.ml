@@ -1,17 +1,20 @@
-type arbitration = Fifo | Priority of string list
+(* Facade over Switch_core's oblivious mode; see engine.mli and
+   DESIGN.md section 12 for the kernel split. *)
 
-type switching = Wormhole | Store_and_forward
+type arbitration = Switch_core.arbitration = Fifo | Priority of string list
 
-type recovery = {
+type switching = Switch_core.switching = Wormhole | Store_and_forward
+
+type recovery = Switch_core.recovery = {
   watchdog : int;
   retry_limit : int;
   backoff : int;
   reroute : Routing.t option;
 }
 
-let default_recovery = { watchdog = 64; retry_limit = 4; backoff = 8; reroute = None }
+let default_recovery = Switch_core.default_recovery
 
-type config = {
+type config = Switch_core.config = {
   buffer_capacity : int;
   arbitration : arbitration;
   switching : switching;
@@ -20,44 +23,36 @@ type config = {
   recovery : recovery option;
 }
 
-let default_config =
-  {
-    buffer_capacity = 1;
-    arbitration = Fifo;
-    switching = Wormhole;
-    max_cycles = 100_000;
-    faults = Fault.empty;
-    recovery = None;
-  }
+let default_config = Switch_core.default_config
 
-type message_result = {
+type message_result = Switch_core.message_result = {
   r_label : string;
   r_injected_at : int option;
   r_delivered_at : int option;
 }
 
-type blocked_info = {
+type blocked_info = Switch_core.blocked_info = {
   b_label : string;
-  b_waiting_for : Topology.channel;
+  b_wants : Topology.channel list;
   b_holder : string option;
 }
 
-type deadlock_info = {
+type deadlock_info = Switch_core.deadlock_info = {
   d_cycle : int;
   d_blocked : blocked_info list;
   d_wait_cycle : string list;
   d_occupancy : (Topology.channel * string * int) list;
 }
 
-type fate = Delivered | Dropped | Gave_up
+type fate = Switch_core.fate = Delivered | Dropped | Gave_up
 
-type retry_stat = {
+type retry_stat = Switch_core.retry_stat = {
   t_label : string;
   t_retries : int;
   t_fate : fate;
 }
 
-type outcome =
+type outcome = Switch_core.outcome =
   | All_delivered of { finished_at : int; messages : message_result list }
   | Deadlock of deadlock_info
   | Cutoff of { at : int; messages : message_result list }
@@ -67,797 +62,21 @@ type outcome =
       stats : retry_stat list;
     }
 
-type snapshot = {
+type snapshot = Switch_core.snapshot = {
   s_cycle : int;
   s_occupancy : (Topology.channel * string * int) list;
   s_waiting : (string * Topology.channel * string option) list;
   s_moved : bool;
 }
 
-let is_deadlock = function
-  | Deadlock _ -> true
-  | All_delivered _ | Cutoff _ | Recovered _ -> false
+let run ?config ?probe ?sanitizer ?obs rt sched =
+  Switch_core.run ?config ?probe ?sanitizer ?obs (Switch_core.Oblivious rt) sched
 
-(* Per-message mutable state.  [head] is the path index of the channel whose
-   queue contains the header flit; -1 before injection, [path length] once
-   the header has been consumed at the destination.  [path] and [occ] are
-   replaced wholesale when a recovery reroute changes the message's path. *)
-type msg_state = {
-  spec : Schedule.message_spec;
-  idx : int;  (* schedule position, used for deterministic tie-breaks *)
-  mutable path : Topology.channel array;
-  mutable occ : int array;  (* flits currently buffered at each path position *)
-  mutable holds : int array;  (* adversarial hold per path position *)
-  mutable head : int;
-  mutable injected : int;
-  mutable consumed : int;
-  mutable hold : int;
-  mutable hold_fresh : bool;  (* hold was (re)set this cycle; skip one decrement *)
-  mutable injected_at : int option;
-  mutable delivered_at : int option;
-  mutable released_up_to : int;  (* path positions < this have been released *)
-  mutable attempt_at : int;  (* earliest cycle the source may (re)start requesting *)
-  mutable retries : int;  (* aborts so far *)
-  mutable gone : fate option;  (* [Some Dropped | Some Gave_up] once abandoned *)
-  mutable last_progress : int;  (* watchdog reference cycle *)
-  mutable progressed : bool;  (* this message advanced during the current cycle *)
-  mutable waiting_for : int;  (* channel being waited on; -1 if none *)
-  mutable wait_since : int;  (* first cycle of the current wait (valid when waiting_for >= 0) *)
-}
-
-(* A schedule's holds are an assoc list keyed by channel; resolving that per
-   acquisition attempt was O(path) in the innermost loop.  Paths visit each
-   channel at most once (Schedule.validate), so the holds are precomputed
-   per path position here and rebuilt whenever a reroute replaces the path. *)
-let holds_for_path (spec : Schedule.message_spec) path =
-  match spec.Schedule.ms_holds with
-  | [] -> Array.make (Array.length path) 0
-  | hs ->
-    Array.map (fun c -> match List.assoc_opt c hs with Some t -> t | None -> 0) path
-
-(* Process-wide count of simulation runs started, for throughput reporting
-   (runs/sec in the campaign timing table).  Atomic: runs happen on every
-   domain of a parallel sweep.  The adaptive engine counts itself in via
-   [note_run_started]. *)
-let runs_started = Atomic.make 0
-let note_run_started () = Atomic.incr runs_started
-let run_count () = Atomic.get runs_started
-
-(* Runs whose results were discarded by a sweep's early cancellation
-   (speculative pool work past the canonical winner).  Tracked separately
-   so [run_count () - cancelled_count ()] is the exact canonical total; the
-   search layer reports its cancellations here. *)
-let runs_cancelled = Atomic.make 0
-let note_runs_cancelled n = if n > 0 then ignore (Atomic.fetch_and_add runs_cancelled n)
-let cancelled_count () = Atomic.get runs_cancelled
-
-let outcome_string = function
-  | All_delivered _ -> "all-delivered"
-  | Deadlock _ -> "deadlock"
-  | Cutoff _ -> "cutoff"
-  | Recovered _ -> "recovered"
-
-let run ?(config = default_config) ?probe ?sanitizer ?obs rt sched =
-  if config.buffer_capacity < 1 then invalid_arg "Engine.run: buffer_capacity < 1";
-  if config.max_cycles < 1 then invalid_arg "Engine.run: max_cycles < 1";
-  (match config.recovery with
-  | None -> ()
-  | Some r ->
-    if r.watchdog < 1 then invalid_arg "Engine.run: recovery watchdog < 1";
-    if r.retry_limit < 0 then invalid_arg "Engine.run: recovery retry_limit < 0";
-    if r.backoff < 1 then invalid_arg "Engine.run: recovery backoff < 1";
-    (match r.reroute with
-    | Some rt' when Routing.topology rt' != Routing.topology rt ->
-      invalid_arg "Engine.run: recovery reroute built on a different topology"
-    | Some _ | None -> ()));
-  (match Schedule.validate rt sched with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Engine.run: " ^ e));
-  (match config.switching with
-  | Store_and_forward ->
-    List.iter
-      (fun (m : Schedule.message_spec) ->
-        if m.ms_length > config.buffer_capacity then
-          invalid_arg "Engine.run: store-and-forward needs buffer_capacity >= message length")
-      sched
-  | Wormhole -> ());
-  let topo = Routing.topology rt in
-  let nchan = Topology.num_channels topo in
-  let faults = Fault.compile ~nchan config.faults in
-  let cap = config.buffer_capacity in
-  note_run_started ();
-  (* -- observability: hoist the sink once per run; every emission site is
-        guarded by [obs_on] so a disabled bus allocates nothing.  Emission
-        is pure observation -- the run takes identical decisions with any
-        sink installed (QCheck-checked in test_obs). -- *)
-  let obs = match obs with Some _ as s -> s | None -> Obs.current () in
-  let obs_on = obs <> None in
-  let emit e = match obs with Some s -> s.Obs.emit e | None -> () in
-  if obs_on then begin
-    emit
-      (Obs_event.Run_start
-         { engine = "oblivious"; algorithm = Routing.name rt; messages = List.length sched });
-    List.iter
-      (fun (ev : Fault.event) ->
-        emit
-          (match ev with
-          | Fault.Link_failure { channel; at } ->
-            Obs_event.Fault
-              { cycle = at; kind = Obs_event.Planned_failure; channel = Some channel;
-                label = None; duration = 0 }
-          | Fault.Transient_stall { channel; at; duration } ->
-            Obs_event.Fault
-              { cycle = at; kind = Obs_event.Planned_stall; channel = Some channel;
-                label = None; duration }
-          | Fault.Message_drop { label; at } ->
-            Obs_event.Fault
-              { cycle = at; kind = Obs_event.Planned_drop; channel = None;
-                label = Some label; duration = 0 }))
-      (Fault.events config.faults)
-  end;
-  let msgs =
-    List.mapi
-      (fun idx (spec : Schedule.message_spec) ->
-        let path = Array.of_list (Routing.path_exn rt spec.ms_src spec.ms_dst) in
-        {
-          spec;
-          idx;
-          path;
-          occ = Array.make (Array.length path) 0;
-          holds = holds_for_path spec path;
-          head = -1;
-          injected = 0;
-          consumed = 0;
-          hold = 0;
-          hold_fresh = false;
-          injected_at = None;
-          delivered_at = None;
-          released_up_to = 0;
-          attempt_at = spec.ms_inject_at;
-          retries = 0;
-          gone = None;
-          last_progress = 0;
-          progressed = false;
-          waiting_for = -1;
-          wait_since = 0;
-        })
-      sched
-  in
-  let marr = Array.of_list msgs in
-  let nmsg = Array.length marr in
-  let owner = Array.make nchan (-1) in
-  (* arbitration rank per schedule position, precomputed (the priority
-     variant used to hash the label on every award comparison) *)
-  let rank_of =
-    match config.arbitration with
-    | Fifo -> Array.init nmsg (fun i -> i)
-    | Priority order ->
-      let pos = Hashtbl.create 8 in
-      List.iteri (fun i l -> if not (Hashtbl.mem pos l) then Hashtbl.add pos l i) order;
-      let worst = List.length order in
-      Array.map
-        (fun m ->
-          match Hashtbl.find_opt pos m.spec.Schedule.ms_label with
-          | Some i -> (i * nmsg) + m.idx
-          | None -> (worst * nmsg) + m.idx)
-        marr
-  in
-  (* per-cycle request scratch, reused across cycles: [req_stamp.(c) = t]
-     marks channel [c] as requested this cycle, [req_list] keeps the
-     channels in first-request order (no per-cycle Hashtbl) *)
-  let req_stamp = Array.make nchan (-1) in
-  let req_list = Array.make nchan 0 in
-  let req_count = ref 0 in
-  let moved = ref false in
-  let finished = ref 0 in
-  (* any fault fired or recovery action taken: the run reports [Recovered] *)
-  let perturbed = ref false in
-  let results () =
-    Array.to_list
-      (Array.map
-         (fun m ->
-           { r_label = m.spec.ms_label; r_injected_at = m.injected_at;
-             r_delivered_at = m.delivered_at })
-         marr)
-  in
-  let stats () =
-    Array.to_list
-      (Array.map
-         (fun m ->
-           {
-             t_label = m.spec.ms_label;
-             t_retries = m.retries;
-             t_fate = (match m.gone with Some f -> f | None -> Delivered);
-           })
-         marr)
-  in
-  let active m = m.delivered_at = None && m.gone = None in
-  (* The channel a message is currently waiting for, if it is blocked on
-     channel acquisition. *)
-  let assembled m =
-    (* store-and-forward: the whole packet must sit in the header's queue *)
-    match config.switching with
-    | Wormhole -> true
-    | Store_and_forward -> m.head >= 0 && m.occ.(m.head) = m.spec.Schedule.ms_length
-  in
-  (* hot-path variant: -1 for "wants nothing" (no option allocation) *)
-  let wanted_chan m =
-    if not (active m) then -1
-    else if m.head = -1 then m.path.(0)
-    else if m.head < Array.length m.path - 1 && m.hold = 0 && assembled m then
-      m.path.(m.head + 1)
-    else -1
-  in
-  let wanted m =
-    let c = wanted_chan m in
-    if c < 0 then None else Some c
-  in
-  let set_hold m pos =
-    let h = m.holds.(pos) in
-    m.hold <- h;
-    m.hold_fresh <- h > 0
-  in
-  (* -- sanitizer: re-derive the structural invariants from the full state
-        at the end of every cycle (see Sanitizer's doc for the code table).
-        Pure observation; a sanitized run takes the same decisions. -- *)
-  let sanitizer = match sanitizer with Some s -> Some s | None -> Sanitizer.current () in
-  (match sanitizer with Some s -> Sanitizer.note_run s | None -> ());
-  let sanitize t =
-    match sanitizer with
-    | None -> ()
-    | Some san ->
-      Sanitizer.note_cycle san;
-      let ctx = [ ("algorithm", Routing.name rt); ("cycle", string_of_int t) ] in
-      let viol code m msg =
-        Sanitizer.record san
-          (Diagnostic.error code (Diagnostic.Message m.spec.Schedule.ms_label) msg ~context:ctx)
-      in
-      Array.iter
-        (fun m ->
-          let k = Array.length m.path in
-          let buffered = ref 0 in
-          for i = 0 to k - 1 do
-            let n = m.occ.(i) in
-            buffered := !buffered + n;
-            if n < 0 || n > cap then
-              viol "E102" m
-                (Printf.sprintf "buffer occupancy %d outside [0, %d] at path position %d" n cap i);
-            if n > 0 then begin
-              if owner.(m.path.(i)) <> m.idx then
-                viol "E102" m
-                  (Printf.sprintf "flits buffered on %s which the message does not own"
-                     (Topology.channel_name topo m.path.(i)));
-              if i < m.released_up_to || i > m.head then
-                viol "E103" m
-                  (Printf.sprintf
-                     "flits at path position %d outside the live window [%d, %d]" i
-                     m.released_up_to (min m.head (k - 1)))
-            end
-          done;
-          if m.gone = None && m.injected <> m.consumed + !buffered then
-            viol "E101" m
-              (Printf.sprintf "flit conservation broken: injected %d <> consumed %d + buffered %d"
-                 m.injected m.consumed !buffered);
-          let release_bound = if m.head = k then k else max m.head 0 in
-          if m.released_up_to < 0 || m.released_up_to > release_bound then
-            viol "E103" m
-              (Printf.sprintf "release watermark %d outside [0, %d]" m.released_up_to
-                 release_bound);
-          if m.waiting_for >= 0 then begin
-            if m.wait_since < 0 || m.wait_since > t then
-              viol "E104" m
-                (Printf.sprintf "waiting for %s with seniority cycle %d outside [0, %d]"
-                   (Topology.channel_name topo m.waiting_for)
-                   m.wait_since t);
-            if wanted m <> Some m.waiting_for then
-              viol "E104" m
-                (Printf.sprintf "wait entry on %s but the message no longer wants it"
-                   (Topology.channel_name topo m.waiting_for))
-          end;
-          match config.recovery with
-          | Some r when m.gone = None ->
-            if m.retries > r.retry_limit then
-              viol "E105" m
-                (Printf.sprintf "live message has %d retries, over the limit %d" m.retries
-                   r.retry_limit);
-            if active m && t - m.last_progress >= r.watchdog then
-              viol "E105" m
-                (Printf.sprintf
-                   "watchdog bound broken: no progress since cycle %d (watchdog %d)"
-                   m.last_progress r.watchdog)
-          | Some _ | None -> ())
-        marr;
-      Array.iteri
-        (fun c own ->
-          if own >= 0 then
-            let m = marr.(own) in
-            if not (Array.exists (fun pc -> pc = c) m.path) then
-              viol "E102" m
-                (Printf.sprintf "owns %s which is not on its path"
-                   (Topology.channel_name topo c)))
-        owner
-  in
-  (* abort-and-drain: release every held channel, drop buffered flits, and
-     return the message to its pre-injection state *)
-  let drain m t =
-    Array.iter
-      (fun c ->
-        if owner.(c) = m.idx then begin
-          owner.(c) <- -1;
-          if obs_on then
-            emit
-              (Obs_event.Channel_release
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c })
-        end)
-      m.path;
-    if obs_on && m.waiting_for >= 0 then
-      emit
-        (Obs_event.Wait_drop
-           { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
-             waited = t - m.wait_since });
-    m.waiting_for <- -1;
-    Array.fill m.occ 0 (Array.length m.occ) 0;
-    m.head <- -1;
-    m.injected <- 0;
-    m.consumed <- 0;
-    m.hold <- 0;
-    m.hold_fresh <- false;
-    m.released_up_to <- 0
-  in
-  let give_up m fate t =
-    drain m t;
-    m.gone <- Some fate;
-    incr finished;
-    if obs_on then
-      emit
-        (Obs_event.Gave_up
-           { cycle = t; label = m.spec.Schedule.ms_label;
-             fate = (match fate with Dropped -> "dropped" | _ -> "gave-up") })
-  in
-  let abort_retry m (r : recovery) t ~reason =
-    drain m t;
-    m.retries <- m.retries + 1;
-    if obs_on then
-      emit
-        (Obs_event.Abort
-           { cycle = t; label = m.spec.Schedule.ms_label; retries = m.retries; reason });
-    if m.retries > r.retry_limit then give_up m Gave_up t
-    else begin
-      (match r.reroute with
-      | None -> ()
-      | Some rt' -> (
-        match Routing.path rt' m.spec.Schedule.ms_src m.spec.Schedule.ms_dst with
-        | Ok p ->
-          m.path <- Array.of_list p;
-          m.occ <- Array.make (Array.length m.path) 0;
-          m.holds <- holds_for_path m.spec m.path
-        | Error _ ->
-          (* the degraded network cannot deliver this pair at all *)
-          give_up m Gave_up t));
-      if m.gone = None then begin
-        let delay = r.backoff * (1 lsl min (m.retries - 1) 20) in
-        m.attempt_at <- t + delay;
-        m.last_progress <- t + delay;
-        if obs_on then
-          emit
-            (Obs_event.Retry
-               { cycle = t; label = m.spec.Schedule.ms_label; resume_at = m.attempt_at })
-      end
-    end
-  in
-  let cycle = ref 0 in
-  let outcome = ref None in
-  while !outcome = None do
-    let t = !cycle in
-    moved := false;
-    Array.iter (fun m -> m.progressed <- false) marr;
-    (* -- arbitration: register requests, then award each free channel.
-          A message's wait_since entry follows the channel it currently
-          wants: when the want changes (progress, hold expiry, abort,
-          reroute) the stale entry is dropped so seniority cannot leak
-          onto a channel the message no longer requests. -- *)
-    let eligible m = m.head >= 0 || (m.injected = 0 && t >= m.attempt_at) in
-    req_count := 0;
-    for j = 0 to nmsg - 1 do
-      let m = marr.(j) in
-      let c = wanted_chan m in
-      if c >= 0 && eligible m && owner.(c) <> m.idx then begin
-        if m.waiting_for <> c then begin
-          if obs_on then begin
-            if m.waiting_for >= 0 then
-              emit
-                (Obs_event.Wait_drop
-                   { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
-                     waited = t - m.wait_since });
-            emit
-              (Obs_event.Wait_add
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                   holder =
-                     (if owner.(c) >= 0 then
-                        Some marr.(owner.(c)).spec.Schedule.ms_label
-                      else None) })
-          end;
-          m.waiting_for <- c;
-          m.wait_since <- t
-        end;
-        (* a down channel cannot be acquired, but the waiter keeps its
-           seniority for when the stall clears *)
-        if not (Fault.down faults c t) && req_stamp.(c) <> t then begin
-          req_stamp.(c) <- t;
-          req_list.(!req_count) <- c;
-          incr req_count
-        end
-      end
-      else begin
-        (* not requesting -- including the case where the message already
-           owns the channel it wants and its hop is merely fault-deferred:
-           an owner is not a waiter, so it must not keep a seniority stamp
-           (the sanitizer's E104 check relies on this) *)
-        if obs_on && m.waiting_for >= 0 then
-          emit
-            (Obs_event.Wait_drop
-               { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
-                 waited = t - m.wait_since });
-        m.waiting_for <- -1
-      end
-    done;
-    (* awards for distinct channels are independent (an award writes only
-       [owner.(c)] and the winner's own flags), so the outcome does not
-       depend on the order of [req_list] *)
-    for ri = 0 to !req_count - 1 do
-      let c = req_list.(ri) in
-      if owner.(c) = -1 then begin
-        let best_j = ref (-1) in
-        let best_since = ref 0 in
-        let best_rank = ref 0 in
-        for j = 0 to nmsg - 1 do
-          let m = marr.(j) in
-          if wanted_chan m = c && eligible m then begin
-            let since = if m.waiting_for = c then m.wait_since else t in
-            let r = rank_of.(j) in
-            if
-              !best_j < 0 || since < !best_since
-              || (since = !best_since && r < !best_rank)
-            then begin
-              best_j := j;
-              best_since := since;
-              best_rank := r
-            end
-          end
-        done;
-        if !best_j >= 0 then begin
-          let m = marr.(!best_j) in
-          owner.(c) <- m.idx;
-          if obs_on then
-            emit
-              (Obs_event.Channel_acquire
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                   waited = t - !best_since });
-          m.waiting_for <- -1;
-          m.progressed <- true;
-          moved := true
-        end
-      end
-    done;
-    (* -- movement: per message, sweep from the front so freed slots are
-          visible to the flits behind (wormhole pipelining).  A down channel
-          (failed or stalled) neither accepts nor emits flits. -- *)
-    Array.iter
-      (fun m ->
-        let k = Array.length m.path in
-        let ok i = not (Fault.down faults m.path.(i) t) in
-        if active m then begin
-          (* consumption at the destination *)
-          if
-            (m.head = k || (m.head = k - 1 && m.hold = 0))
-            && m.occ.(k - 1) > 0 && ok (k - 1)
-          then begin
-            m.occ.(k - 1) <- m.occ.(k - 1) - 1;
-            m.consumed <- m.consumed + 1;
-            if m.head = k - 1 then m.head <- k;
-            moved := true;
-            m.progressed <- true;
-            if obs_on then
-              emit
-                (Obs_event.Flit
-                   { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(k - 1);
-                     kind = Obs_event.Consume });
-            if m.consumed = m.spec.ms_length then begin
-              m.delivered_at <- Some t;
-              if obs_on then
-                emit
-                  (Obs_event.Delivered
-                     { cycle = t; label = m.spec.Schedule.ms_label;
-                       latency =
-                         (match m.injected_at with Some i -> t - i | None -> t) })
-            end
-          end;
-          (* header hop into an acquired channel *)
-          if
-            m.head >= 0 && m.head < k - 1 && m.hold = 0
-            && owner.(m.path.(m.head + 1)) = m.idx
-            && ok m.head && ok (m.head + 1)
-          then begin
-            m.occ.(m.head) <- m.occ.(m.head) - 1;
-            m.occ.(m.head + 1) <- m.occ.(m.head + 1) + 1;
-            m.head <- m.head + 1;
-            set_hold m m.head;
-            moved := true;
-            m.progressed <- true;
-            if obs_on then
-              emit
-                (Obs_event.Flit
-                   { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(m.head);
-                     kind = Obs_event.Hop })
-          end;
-          (* data flits cascade toward the header *)
-          let front = min (m.head - 1) (k - 2) in
-          for i = front downto 0 do
-            if m.occ.(i) > 0 && m.occ.(i + 1) < cap && ok i && ok (i + 1) then begin
-              m.occ.(i) <- m.occ.(i) - 1;
-              m.occ.(i + 1) <- m.occ.(i + 1) + 1;
-              moved := true;
-              m.progressed <- true;
-              if obs_on then
-                emit
-                  (Obs_event.Flit
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(i + 1);
-                       kind = Obs_event.Cascade })
-            end
-          done;
-          (* injection of the next flit at the source *)
-          if m.injected < m.spec.ms_length then begin
-            if m.injected = 0 then begin
-              if owner.(m.path.(0)) = m.idx && m.head = -1 && ok 0 then begin
-                m.occ.(0) <- 1;
-                m.injected <- 1;
-                m.head <- 0;
-                m.injected_at <- Some t;
-                set_hold m 0;
-                moved := true;
-                m.progressed <- true;
-                if obs_on then
-                  emit
-                    (Obs_event.Flit
-                       { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(0);
-                         kind = Obs_event.Inject })
-              end
-            end
-            else if m.occ.(0) < cap && owner.(m.path.(0)) = m.idx && ok 0 then begin
-              m.occ.(0) <- m.occ.(0) + 1;
-              m.injected <- m.injected + 1;
-              moved := true;
-              m.progressed <- true;
-              if obs_on then
-                emit
-                  (Obs_event.Flit
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(0);
-                       kind = Obs_event.Inject })
-            end
-          end;
-          (* release: channels the whole message has passed through *)
-          if m.injected = m.spec.ms_length then begin
-            let i = ref m.released_up_to in
-            let continue = ref true in
-            while !continue && !i < k do
-              if m.occ.(!i) = 0 && owner.(m.path.(!i)) = m.idx && (!i < m.head || m.head = k)
-              then begin
-                owner.(m.path.(!i)) <- -1;
-                moved := true;
-                m.progressed <- true;
-                if obs_on then
-                  emit
-                    (Obs_event.Channel_release
-                       { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(!i) });
-                incr i
-              end
-              else continue := false
-            done;
-            m.released_up_to <- !i
-          end;
-          if m.delivered_at = Some t then incr finished;
-          (* hold countdown (skip the cycle the hold was set); expiry is
-             progress: the header will act next cycle *)
-          if m.hold > 0 then begin
-            m.progressed <- true;
-            if m.hold_fresh then m.hold_fresh <- false
-            else begin
-              m.hold <- m.hold - 1;
-              if m.hold = 0 then moved := true
-            end
-          end
-        end)
-      marr;
-    (* -- faults and recovery: source-side drops, then the watchdog -- *)
-    if not (Fault.is_empty config.faults) then
-      Array.iter
-        (fun m ->
-          if active m && m.injected = 0 && Fault.dropped_now faults m.spec.Schedule.ms_label t
-          then begin
-            perturbed := true;
-            if obs_on then
-              emit
-                (Obs_event.Fault
-                   { cycle = t; kind = Obs_event.Drop_fired; channel = None;
-                     label = Some m.spec.Schedule.ms_label; duration = 0 });
-            match config.recovery with
-            | None -> give_up m Dropped t
-            | Some r -> abort_retry m r t ~reason:"drop"
-          end)
-        marr;
-    (match config.recovery with
-    | None -> ()
-    | Some r ->
-      Array.iter
-        (fun m ->
-          if active m then begin
-            if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
-            else if t - m.last_progress >= r.watchdog then begin
-              perturbed := true;
-              abort_retry m r t ~reason:"watchdog"
-            end
-          end)
-        marr);
-    (* -- end of cycle: sanitizer, probe, termination checks -- *)
-    sanitize t;
-    (match probe with
-    | None -> ()
-    | Some f ->
-      let occupancy =
-        let acc = ref [] in
-        Array.iter
-          (fun m ->
-            Array.iteri
-              (fun i n -> if n > 0 then acc := (m.path.(i), m.spec.Schedule.ms_label, n) :: !acc)
-              m.occ)
-          marr;
-        List.sort compare !acc
-      in
-      let waiting =
-        Array.to_list marr
-        |> List.filter_map (fun m ->
-               if m.delivered_at <> None then None
-               else
-                 match wanted m with
-                 | Some c when m.head >= 0 && owner.(c) <> m.idx ->
-                   Some
-                     ( m.spec.Schedule.ms_label,
-                       c,
-                       if owner.(c) >= 0 then Some marr.(owner.(c)).spec.Schedule.ms_label
-                       else None )
-                 | Some _ | None -> None)
-      in
-      f { s_cycle = t; s_occupancy = occupancy; s_waiting = waiting; s_moved = !moved });
-    if !finished = nmsg then
-      outcome :=
-        Some
-          (if !perturbed then Recovered { finished_at = t; messages = results (); stats = stats () }
-           else All_delivered { finished_at = t; messages = results () })
-    else if t >= config.max_cycles then outcome := Some (Cutoff { at = t; messages = results () })
-    else if not !moved then begin
-      let future =
-        Array.exists
-          (fun m -> active m && ((m.injected = 0 && t < m.attempt_at) || m.hold > 0))
-          marr
-        (* with recovery on, any live message is future work: the watchdog
-           will eventually abort it, so nothing is permanently blocked *)
-        || (Option.is_some config.recovery && Array.exists active marr)
-        (* a stall window about to close or an unfired event can unblock *)
-        || Fault.change_after faults t
-      in
-      if not future then begin
-        (* permanently blocked: build the witness *)
-        let label i = marr.(i).spec.Schedule.ms_label in
-        let blocked =
-          Array.to_list marr
-          |> List.filter_map (fun m ->
-                 if m.delivered_at <> None then None
-                 else
-                   match wanted m with
-                   | None -> None
-                   | Some c ->
-                     Some
-                       {
-                         b_label = m.spec.ms_label;
-                         b_waiting_for = c;
-                         b_holder = (if owner.(c) >= 0 then Some (label owner.(c)) else None);
-                       })
-        in
-        (* follow the wait-for edges from any blocked message to find a cycle *)
-        let wait_cycle =
-          let next i =
-            match wanted marr.(i) with
-            | Some c when owner.(c) >= 0 && owner.(c) <> i -> Some owner.(c)
-            | Some _ | None -> None
-          in
-          let start =
-            Array.to_list marr
-            |> List.filter_map (fun m -> if m.delivered_at = None then Some m.idx else None)
-          in
-          let rec chase seen i =
-            match next i with
-            | None -> None
-            | Some j ->
-              if List.mem j seen then begin
-                (* cut the prefix before the first occurrence of j *)
-                let rec drop = function
-                  | [] -> []
-                  | x :: rest -> if x = j then x :: rest else drop rest
-                in
-                Some (drop (List.rev (i :: seen)))
-              end
-              else chase (i :: seen) j
-          in
-          let rec try_starts = function
-            | [] -> []
-            | s :: rest -> (
-              match chase [] s with Some c -> List.map label c | None -> try_starts rest)
-          in
-          try_starts start
-        in
-        let occupancy =
-          let acc = ref [] in
-          Array.iter
-            (fun m ->
-              Array.iteri
-                (fun i n -> if n > 0 then acc := (m.path.(i), m.spec.ms_label, n) :: !acc)
-                m.occ)
-            marr;
-          List.sort compare !acc
-        in
-        outcome :=
-          Some (Deadlock { d_cycle = t; d_blocked = blocked; d_wait_cycle = wait_cycle;
-                           d_occupancy = occupancy })
-      end
-    end;
-    incr cycle
-  done;
-  let o = match !outcome with Some o -> o | None -> assert false in
-  if obs_on then begin
-    let final =
-      match o with
-      | All_delivered { finished_at; _ } | Recovered { finished_at; _ } -> finished_at
-      | Deadlock d -> d.d_cycle
-      | Cutoff { at; _ } -> at
-    in
-    emit (Obs_event.Run_end { cycle = final; outcome = outcome_string o })
-  end;
-  o
-
-let pp_fate ppf = function
-  | Delivered -> Format.pp_print_string ppf "delivered"
-  | Dropped -> Format.pp_print_string ppf "dropped"
-  | Gave_up -> Format.pp_print_string ppf "gave up"
-
-let pp_outcome topo ppf = function
-  | All_delivered { finished_at; messages } ->
-    Format.fprintf ppf "all %d messages delivered by cycle %d" (List.length messages)
-      finished_at
-  | Cutoff { at; _ } -> Format.fprintf ppf "cutoff at cycle %d (still moving)" at
-  | Recovered { finished_at; stats; _ } ->
-    let count f = List.length (List.filter (fun s -> s.t_fate = f) stats) in
-    let retries = List.fold_left (fun acc s -> acc + s.t_retries) 0 stats in
-    Format.fprintf ppf
-      "recovered by cycle %d: %d delivered, %d dropped, %d gave up (%d retries total)"
-      finished_at (count Delivered) (count Dropped) (count Gave_up) retries;
-    List.iter
-      (fun s ->
-        if s.t_retries > 0 || s.t_fate <> Delivered then
-          Format.fprintf ppf "@\n  %s: %a after %d retr%s" s.t_label pp_fate s.t_fate
-            s.t_retries
-            (if s.t_retries = 1 then "y" else "ies"))
-      stats
-  | Deadlock d ->
-    Format.fprintf ppf "DEADLOCK at cycle %d; wait cycle: %s@\n" d.d_cycle
-      (String.concat " -> " d.d_wait_cycle);
-    List.iter
-      (fun b ->
-        Format.fprintf ppf "  %s waits for %s held by %s@\n" b.b_label
-          (Topology.channel_name topo b.b_waiting_for)
-          (match b.b_holder with Some h -> h | None -> "(free)"))
-      d.d_blocked;
-    List.iter
-      (fun (c, l, n) ->
-        Format.fprintf ppf "  %s holds %s (%d flit%s)@\n" l (Topology.channel_name topo c) n
-          (if n > 1 then "s" else ""))
-      d.d_occupancy
+let is_deadlock = Switch_core.is_deadlock
+let run_count = Switch_core.run_count
+let note_run_started = Switch_core.note_run_started
+let cancelled_count = Switch_core.cancelled_count
+let note_runs_cancelled = Switch_core.note_runs_cancelled
+let outcome_string = Switch_core.outcome_string
+let pp_fate = Switch_core.pp_fate
+let pp_outcome = Switch_core.pp_outcome

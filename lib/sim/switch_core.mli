@@ -1,51 +1,50 @@
-(** Cycle-accurate flit-level wormhole simulation with oblivious routing.
+(** The single flit-switching kernel behind {!Engine} and {!Adaptive_engine}.
 
-    This is a thin facade over {!Switch_core}, the single switching kernel
-    shared with {!Adaptive_engine}; every type here is an equation on the
-    kernel's, so [Engine.outcome] and [Switch_core.outcome] interconvert
-    freely.  The model (Section 3 of the paper):
+    Both engines simulate the same switching model (Section 3 of the paper):
+    atomic buffer allocation, at most one hop per flit per cycle, wormhole
+    worms spanning the channels the header acquired, starvation-free
+    arbitration, one flit consumed per cycle at the destination.  They differ
+    only in how the header selects its next channel:
 
-    - each unidirectional channel has a FIFO flit queue of configurable
-      capacity (default one flit) with {e atomic buffer allocation}
-      (assumption 4): a queue holds flits of at most one message, and it
-      must transmit the last flit of the current message before it may
-      accept the header of the next -- release happens at the end of a
-      cycle, acquisition no earlier than the next cycle;
-    - flits advance at most one hop per cycle; the header acquires channels,
-      data flits follow the header's path (wormhole switching);
-    - a header that cannot proceed keeps all channels the message occupies
-      (no abort/recovery -- unless an explicit {!recovery} policy is
-      configured, which is an extension beyond the paper's model);
-    - the destination consumes one flit per cycle once the header arrives
-      (assumption 2);
-    - arbitration among simultaneous requests for the same channel is
-      starvation-free (assumption 5): earlier waiters win, and ties among
-      same-cycle requests are broken by an explicit priority order so the
-      adversary of the paper's proofs ("the message that can lead to
-      deadlock acquires the channel") can be realized by sweeping
-      priorities;
-    - per-message adversarial holds realize the bounded clock skew /
-      prolonged-delay discussion of Sections 3 and 6.
+    - {e oblivious} ({!policy} [Oblivious rt]): the path is fixed up front by
+      the routing function; the header waits for exactly that channel, and
+      wait-seniority arbitration awards each contended channel to the most
+      senior waiter (ties by the priority table);
+    - {e adaptive} ([Adaptive ad]): each cycle the header claims the first
+      {e free} channel among the routing function's permitted options,
+      claimants ordered by waiting time and then the priority table.  An
+      oblivious routing lifted with {!Adaptive.of_oblivious} is the singleton
+      case and behaves identically to [Oblivious] (QCheck-checked in
+      [test_qcheck]'s differential suite).
 
-    Because routing is oblivious and the engine deterministic, a run is a
-    pure function of (routing, schedule, config). *)
+    Everything else -- fault application, watchdog/backoff recovery
+    (including [recovery.reroute], honored by {e both} modes), the sanitizer
+    sweep (E101-E105), and [Obs] emission -- lives here exactly once.
 
-type arbitration = Switch_core.arbitration =
+    Mode-specific semantics kept intentionally (see DESIGN.md section 12):
+    adaptive runs ignore per-message adversarial holds ([ms_holds]) and
+    [config.switching]; validation wording matches the engine the caller
+    used; sanitizer messages say "path position" (oblivious, fixed route)
+    vs "hop" (adaptive, carved route); adaptive reroute pins the remaining
+    route, making the message effectively oblivious for its retries. *)
+
+type arbitration =
   | Fifo  (** earlier waiters first; same-cycle ties by schedule order *)
   | Priority of string list
       (** same-cycle ties broken by this label order (earlier = wins);
           labels absent from the list rank last, in schedule order *)
 
-type switching = Switch_core.switching =
+type switching =
   | Wormhole
       (** flits advance as soon as possible; a blocked worm spans many
           channels (the paper's model) *)
   | Store_and_forward
       (** the header may only advance once the whole packet is buffered in
           its current channel (requires [buffer_capacity] at least the
-          longest message); the classic pre-wormhole discipline *)
+          longest message); the classic pre-wormhole discipline.  Oblivious
+          mode only; adaptive runs always switch wormhole. *)
 
-type recovery = Switch_core.recovery = {
+type recovery = {
   watchdog : int;
       (** cycles a message may go without progress (no flit moved, no
           channel acquired) before it is presumed deadlocked or lost and
@@ -59,13 +58,15 @@ type recovery = Switch_core.recovery = {
       (** routing used to recompute an aborted message's path, typically a
           {!Routing.avoiding} wrapper around the failed channels that the
           caller has re-certified (see [Degrade.reroute]); [None] retries
-          on the original path *)
+          on the original path (oblivious) or with full adaptive freedom
+          (adaptive).  In adaptive mode the recomputed path is {e pinned}:
+          the retried header claims exactly the reroute's channels. *)
 }
 
 val default_recovery : recovery
 (** watchdog 64, retry_limit 4, backoff 8, no reroute. *)
 
-type config = Switch_core.config = {
+type config = {
   buffer_capacity : int;  (** flits per channel queue; >= 1 *)
   arbitration : arbitration;
   switching : switching;
@@ -85,22 +86,23 @@ type config = Switch_core.config = {
 val default_config : config
 (** capacity 1, FIFO, wormhole, 100_000 cycles, no faults, no recovery. *)
 
-type message_result = Switch_core.message_result = {
+type message_result = {
   r_label : string;
   r_injected_at : int option;  (** cycle the header entered the network *)
   r_delivered_at : int option;  (** cycle the tail flit was consumed *)
 }
 
-type blocked_info = Switch_core.blocked_info = {
+type blocked_info = {
   b_label : string;
   b_wants : Topology.channel list;
-      (** channels the header is blocked on: a singleton under oblivious
-          routing (the fixed route's next channel), the full option list
-          under adaptive routing *)
-  b_holder : string option;  (** owner of the first wanted channel, if any *)
+      (** channels the header is blocked on: a singleton in oblivious mode
+          (the fixed route's next channel), the full option list in
+          adaptive mode *)
+  b_holder : string option;
+      (** owner of the first wanted channel, if any *)
 }
 
-type deadlock_info = Switch_core.deadlock_info = {
+type deadlock_info = {
   d_cycle : int;  (** cycle at which the state became permanently blocked *)
   d_blocked : blocked_info list;
   d_wait_cycle : string list;  (** labels of one cycle in the wait-for graph *)
@@ -108,20 +110,20 @@ type deadlock_info = Switch_core.deadlock_info = {
       (** channel, owning message, buffered flit count *)
 }
 
-type fate = Switch_core.fate =
+type fate =
   | Delivered  (** reached its destination (possibly after retries) *)
   | Dropped  (** killed at the source by a {!Fault.Message_drop} with recovery off *)
   | Gave_up
       (** abandoned: retry cap exhausted, or no route around the failed
           channels exists *)
 
-type retry_stat = Switch_core.retry_stat = {
+type retry_stat = {
   t_label : string;
   t_retries : int;  (** aborts (watchdog or drop) this message went through *)
   t_fate : fate;
 }
 
-type outcome = Switch_core.outcome =
+type outcome =
   | All_delivered of { finished_at : int; messages : message_result list }
   | Deadlock of deadlock_info
   | Cutoff of { at : int; messages : message_result list }
@@ -137,66 +139,75 @@ type outcome = Switch_core.outcome =
           is still returned when faults/recovery were configured but never
           fired. *)
 
-type snapshot = Switch_core.snapshot = {
+type snapshot = {
   s_cycle : int;
   s_occupancy : (Topology.channel * string * int) list;
       (** channel, owning message, buffered flits (only non-empty queues) *)
   s_waiting : (string * Topology.channel * string option) list;
-      (** blocked message, wanted channel, current holder *)
+      (** blocked message, wanted channel (first option when adaptive),
+          current holder *)
   s_moved : bool;  (** something advanced this cycle *)
 }
 (** The observable network state at the end of one cycle, for probes:
     wait-for-graph analysis (Dally-Aoki), tracing, invariant checking. *)
+
+type policy =
+  | Oblivious of Routing.t  (** fixed path per message; wait-seniority awards *)
+  | Adaptive of Adaptive.t  (** first-free-option claims; carved paths *)
 
 val run :
   ?config:config ->
   ?probe:(snapshot -> unit) ->
   ?sanitizer:Sanitizer.t ->
   ?obs:Obs.sink ->
-  Routing.t ->
+  policy ->
   Schedule.t ->
   outcome
-(** [run rt sched] is [Switch_core.run (Oblivious rt) sched]: simulate until
-    every message is delivered (or, under faults/recovery, dropped or
-    abandoned), the network is permanently blocked, or the cycle cutoff
-    fires.
+(** Simulate until every message is delivered (or, under faults/recovery,
+    dropped or abandoned), the network is permanently blocked, or the cycle
+    cutoff fires.  Deterministic: a run is a pure function of
+    (policy, schedule, config).
 
     [obs] attaches a structured-event sink for this run (falling back to the
-    process-wide {!Obs.install}ed one): run start/end, channel
-    acquire/release, wait-for edge add/drop, flit movements, deliveries,
-    aborts/retries, and fault firings.  Emission is pure observation — the
-    run takes identical decisions with any sink attached — and with no sink
-    the event path costs one atomic read per run.
-
-    [sanitizer] arms per-cycle invariant checking (flit conservation, buffer
-    atomicity, the flit window, wait-for consistency, recovery monotonicity
-    -- codes E101-E105); when omitted, the process-wide sanitizer installed
-    via {!Sanitizer.install} (or the [WORMHOLE_SANITIZE] environment
-    variable) is used if any.  Sanitizing never changes the run's decisions.
+    process-wide {!Obs.install}ed one); the [Run_start] event reports the
+    engine as ["oblivious"] or ["adaptive"].  [sanitizer] arms the per-cycle
+    invariant sweep (codes E101-E105), falling back to the process-wide
+    {!Sanitizer.install}ed one.  Both are pure observation: the run takes
+    identical decisions with any sink or sanitizer attached.
 
     Fault semantics: a channel that is down ({!Fault.down}) accepts no new
-    acquisition and moves no flits in or out; a permanently failed channel
-    therefore wedges any message still holding it until the watchdog aborts
-    it.  Aborting releases and drains every channel the message holds, then
-    re-injects it after exponential backoff -- along [recovery.reroute] if
-    provided -- up to [retry_limit] times.  With [recovery = None] fault-
-    blocked traffic is reported as [Deadlock] (permanently blocked), exactly
-    like a protocol deadlock, and existing witnesses are unchanged.
+    acquisition and moves no flits in or out.  An oblivious header waits for
+    its (down) fixed channel, keeping its seniority; an adaptive header is
+    simply never offered a down option, steering around the fault.  The
+    watchdog aborts wedged messages either way; aborting releases and drains
+    every held channel, then re-injects after exponential backoff -- along
+    [recovery.reroute] if provided -- up to [retry_limit] times.
 
-    @raise Invalid_argument when {!Schedule.validate} rejects the schedule
-    or the config is malformed (including a [recovery.reroute] built on a
-    different topology). *)
+    @raise Invalid_argument on malformed schedules or configs, with the
+    calling engine's name ("Engine.run:" / "Adaptive_engine.run:") in the
+    message. *)
 
 val is_deadlock : outcome -> bool
 
+val outcome_string : outcome -> string
+(** Stable one-word form: ["all-delivered"], ["deadlock"], ["cutoff"] or
+    ["recovered"] (matches [Obs_event.Run_end]). *)
+
+val pp_fate : Format.formatter -> fate -> unit
+
+val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit
+(** Singleton [b_wants] entries render as ["m waits for c held by h"]
+    (the oblivious witness format, unchanged); multi-option entries as
+    ["m blocked on {c1, c2}"]. *)
+
 val run_count : unit -> int
 (** Total simulation runs started in this process (atomic: includes runs on
-    helper domains, and the adaptive engine's runs).  Used for runs/sec
-    throughput reporting in the campaign timing table. *)
+    helper domains, both modes).  Used for runs/sec throughput reporting in
+    the campaign timing table. *)
 
 val note_run_started : unit -> unit
-(** Count one run towards {!run_count}.  Called by the kernel itself;
-    exposed for engines layered on top of it. *)
+(** Count one run towards {!run_count}.  Called by {!run} itself; exposed
+    for engines layered on top of the kernel. *)
 
 val cancelled_count : unit -> int
 (** Runs whose results a parallel sweep discarded as cancelled speculative
@@ -207,10 +218,3 @@ val cancelled_count : unit -> int
 val note_runs_cancelled : int -> unit
 (** Report [n] runs as cancelled speculative work.  Called by the search
     layer after each sweep's canonical reduce. *)
-
-val outcome_string : outcome -> string
-(** Stable one-word form: ["all-delivered"], ["deadlock"], ["cutoff"] or
-    ["recovered"] (matches [Obs_event.Run_end]). *)
-
-val pp_fate : Format.formatter -> fate -> unit
-val pp_outcome : Topology.t -> Format.formatter -> outcome -> unit

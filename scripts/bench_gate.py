@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Bench-regression smoke gate.
+
+Compares a freshly produced wormhole-bench/1 JSON against a committed
+baseline and fails (exit 1) when any gated benchmark regresses by more
+than the threshold.  Gated cases are the pooled-sweep pair and the engine
+hot path -- the perf surfaces past PRs optimized deliberately; everything
+else is reported but not enforced (micro-benchmarks on shared CI runners
+are too noisy to gate wholesale).
+
+Usage:
+    scripts/bench_gate.py BASELINE.json FRESH.json [--threshold 0.20]
+
+Exit status: 0 within threshold, 1 regression, 2 usage/schema error.
+"""
+
+import json
+import sys
+
+GATED = [
+    "wormhole/sweep/figure2-seq",
+    "wormhole/sweep/figure2-parallel",
+    "wormhole/sim/engine-hotpath",
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e}")
+    if doc.get("schema") != "wormhole-bench/1":
+        sys.exit(f"bench_gate: {path} is not a wormhole-bench/1 document")
+    return doc
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.20
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--threshold":
+            try:
+                threshold = float(next(it))
+            except (StopIteration, ValueError):
+                sys.exit("bench_gate: --threshold needs a float")
+    if len(args) != 2:
+        sys.exit(__doc__.strip())
+    base_doc, fresh_doc = load(args[0]), load(args[1])
+    base = base_doc.get("benchmarks", {})
+    fresh = fresh_doc.get("benchmarks", {})
+
+    failures = []
+    for name in GATED:
+        b, f = base.get(name), fresh.get(name)
+        if b is None or f is None or not b:
+            # a gated case missing from either side is itself a failure:
+            # silently skipping would let a renamed case escape the gate
+            failures.append(f"{name}: missing ({'baseline' if b is None else 'fresh'})")
+            continue
+        ratio = f / b
+        marker = "FAIL" if ratio > 1.0 + threshold else "ok"
+        print(f"{marker:4} {name}: {b:.0f} ns -> {f:.0f} ns ({ratio:+.1%})".replace("+", ""))
+        if ratio > 1.0 + threshold:
+            failures.append(f"{name}: {ratio - 1.0:.1%} slower (threshold {threshold:.0%})")
+
+    ungated = sorted(set(base) & set(fresh) - set(GATED))
+    for name in ungated:
+        b, f = base[name], fresh[name]
+        if b:
+            print(f"info {name}: {b:.0f} ns -> {f:.0f} ns ({f / b - 1.0:+.1%})")
+
+    if failures:
+        print("\nbench_gate: regression over threshold:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: all {len(GATED)} gated cases within {threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -175,7 +175,7 @@ let test_adaptive_avoids_blocked_channel () =
     (* the probe must not wait for the hog's 40-flit worm to drain: it can
        leave over the Y channel immediately *)
     check cb "probe fast" true (Option.get p.r_delivered_at < 20)
-  | o -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" (Adaptive_engine.pp_outcome mesh1.topo) o)
+  | o -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" (Engine.pp_outcome mesh1.topo) o)
 
 let test_adaptive_ring_deadlock () =
   (* with no routing freedom the adaptive engine reproduces the ring
@@ -186,10 +186,10 @@ let test_adaptive_ring_deadlock () =
     List.init 4 (fun i -> Schedule.message ~length:3 (Printf.sprintf "m%d" i) i ((i + 2) mod 4))
   in
   match Adaptive_engine.run ad sched with
-  | Adaptive_engine.Deadlock { wait_cycle; blocked; _ } ->
-    check ci "four blocked" 4 (List.length blocked);
-    check ci "cycle of four" 4 (List.length wait_cycle)
-  | o -> Alcotest.failf "expected deadlock: %s" (Format.asprintf "%a" (Adaptive_engine.pp_outcome r.topo) o)
+  | Adaptive_engine.Deadlock { d_wait_cycle; d_blocked; _ } ->
+    check ci "four blocked" 4 (List.length d_blocked);
+    check ci "cycle of four" 4 (List.length d_wait_cycle)
+  | o -> Alcotest.failf "expected deadlock: %s" (Format.asprintf "%a" (Engine.pp_outcome r.topo) o)
 
 let test_duato_mesh_survives_stress () =
   (* heavy random traffic on the certified design delivers *)
@@ -201,7 +201,7 @@ let test_duato_mesh_survives_stress () =
   in
   match Adaptive_engine.run ad sched with
   | Adaptive_engine.All_delivered _ -> ()
-  | o -> Alcotest.failf "expected delivery: %s" (Format.asprintf "%a" (Adaptive_engine.pp_outcome mesh2.topo) o)
+  | o -> Alcotest.failf "expected delivery: %s" (Format.asprintf "%a" (Engine.pp_outcome mesh2.topo) o)
 
 let test_adaptive_determinism () =
   let ad = Adaptive.duato_mesh mesh2 in

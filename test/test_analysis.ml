@@ -248,7 +248,7 @@ let test_sanitized_runs_clean () =
   | Adaptive_engine.All_delivered _ -> ()
   | o ->
     Alcotest.failf "unexpected adaptive outcome %s"
-      (Format.asprintf "%a" (Adaptive_engine.pp_outcome topo) o));
+      (Format.asprintf "%a" (Engine.pp_outcome topo) o));
   check cb "adaptive run is clean" true (Sanitizer.ok s);
   check ci "second run checked" 2 (Sanitizer.runs_checked s)
 

@@ -57,9 +57,9 @@ let test_adaptive_cutoff () =
   let ad = Adaptive.fully_adaptive_minimal coords in
   let config = { Engine.default_config with max_cycles = 2 } in
   match Adaptive_engine.run ~config ad [ Schedule.message ~length:30 "m" 0 8 ] with
-  | Adaptive_engine.Cutoff { at } -> check ci "cutoff" 2 at
+  | Adaptive_engine.Cutoff { at; _ } -> check ci "cutoff" 2 at
   | o -> Alcotest.failf "expected cutoff: %s"
-           (Format.asprintf "%a" (Adaptive_engine.pp_outcome coords.Builders.topo) o)
+           (Format.asprintf "%a" (Engine.pp_outcome coords.Builders.topo) o)
 
 (* ---- min-delay witness replays ---- *)
 

@@ -160,7 +160,7 @@ let test_failure_is_deadlock_without_recovery () =
     match dl.Engine.d_blocked with
     | [ b ] ->
       check cb "blocked message" true (b.Engine.b_label = "m");
-      check ci "waiting on the dead channel" bc b.Engine.b_waiting_for;
+      check cb "waiting on the dead channel" true (b.Engine.b_wants = [ bc ]);
       check cb "nobody holds it" true (b.Engine.b_holder = None)
     | _ -> Alcotest.fail "expected exactly one blocked message")
   | o -> fail_outcome rt o
@@ -342,7 +342,7 @@ let test_adaptive_recovery_terminates () =
   | Adaptive_engine.All_delivered _ | Adaptive_engine.Recovered _ -> ()
   | o ->
     Alcotest.failf "expected termination, got %s"
-      (Format.asprintf "%a" (Adaptive_engine.pp_outcome topo) o));
+      (Format.asprintf "%a" (Engine.pp_outcome topo) o));
   check cb "deterministic" true (run () = out)
 
 let () =

@@ -219,7 +219,7 @@ let prop_ring_outcomes_wellformed =
       | Engine.Deadlock d ->
         d.Engine.d_wait_cycle <> []
         && List.for_all
-             (fun (b : Engine.blocked_info) -> b.Engine.b_holder <> None || b.b_waiting_for >= 0)
+             (fun (b : Engine.blocked_info) -> b.Engine.b_holder <> None || b.b_wants <> [])
              d.Engine.d_blocked)
 
 let prop_buffer_capacity_preserves_delivery =
@@ -371,67 +371,9 @@ let differential_case_gen coords =
       let* recovery = recovery_gen in
       return (sched, arb, cap, drops, recovery))
 
-(* Outcome digest comparable across the two entry points (and stable over
-   the Cutoff/Deadlock payload differences): kind, final cycle, per-message
-   results and retry stats, and for deadlocks the blocked set (label, wanted
-   channels) plus the reported wait cycle. *)
-type digest = {
-  g_kind : string;
-  g_cycle : int;
-  g_messages : (string * int option * int option) list;
-  g_stats : (string * int * string) list;
-  g_blocked : (string * Topology.channel list) list;
-  g_wait_cycle : string list;
-}
-
-let digest_messages ms =
-  List.map
-    (fun (r : Engine.message_result) -> (r.r_label, r.r_injected_at, r.r_delivered_at))
-    ms
-
-let digest_stats ss =
-  List.map
-    (fun (s : Engine.retry_stat) ->
-      (s.t_label, s.t_retries, Format.asprintf "%a" Engine.pp_fate s.t_fate))
-    ss
-
-let digest_oblivious = function
-  | Engine.All_delivered { finished_at; messages } ->
-    { g_kind = "all-delivered"; g_cycle = finished_at; g_messages = digest_messages messages;
-      g_stats = []; g_blocked = []; g_wait_cycle = [] }
-  | Engine.Cutoff { at; _ } ->
-    { g_kind = "cutoff"; g_cycle = at; g_messages = []; g_stats = []; g_blocked = [];
-      g_wait_cycle = [] }
-  | Engine.Recovered { finished_at; messages; stats } ->
-    { g_kind = "recovered"; g_cycle = finished_at; g_messages = digest_messages messages;
-      g_stats = digest_stats stats; g_blocked = []; g_wait_cycle = [] }
-  | Engine.Deadlock d ->
-    {
-      g_kind = "deadlock";
-      g_cycle = d.Engine.d_cycle;
-      g_messages = [];
-      g_stats = [];
-      g_blocked =
-        List.map
-          (fun (b : Engine.blocked_info) -> (b.Engine.b_label, [ b.Engine.b_waiting_for ]))
-          d.Engine.d_blocked;
-      g_wait_cycle = d.Engine.d_wait_cycle;
-    }
-
-let digest_adaptive = function
-  | Adaptive_engine.All_delivered { finished_at; messages } ->
-    { g_kind = "all-delivered"; g_cycle = finished_at; g_messages = digest_messages messages;
-      g_stats = []; g_blocked = []; g_wait_cycle = [] }
-  | Adaptive_engine.Cutoff { at; _ } ->
-    { g_kind = "cutoff"; g_cycle = at; g_messages = []; g_stats = []; g_blocked = [];
-      g_wait_cycle = [] }
-  | Adaptive_engine.Recovered { finished_at; messages; stats } ->
-    { g_kind = "recovered"; g_cycle = finished_at; g_messages = digest_messages messages;
-      g_stats = digest_stats stats; g_blocked = []; g_wait_cycle = [] }
-  | Adaptive_engine.Deadlock { at_cycle; blocked; wait_cycle } ->
-    { g_kind = "deadlock"; g_cycle = at_cycle; g_messages = []; g_stats = [];
-      g_blocked = blocked; g_wait_cycle = wait_cycle }
-
+(* Since the kernel unification the two entry points share one outcome
+   type, so the equivalence check is plain structural equality -- witness
+   payloads (blocked set, wait cycle, occupancy) included. *)
 let prop_singleton_adaptive_matches_oblivious coords rt name =
   let ad = Adaptive.of_oblivious rt in
   QCheck.Test.make ~name ~count:(count 80) (differential_case_gen coords)
@@ -442,11 +384,12 @@ let prop_singleton_adaptive_matches_oblivious coords rt name =
       let config =
         { Engine.default_config with arbitration; buffer_capacity; faults; recovery }
       in
-      let oblivious = digest_oblivious (Engine.run ~config rt sched) in
-      let adaptive = digest_adaptive (Adaptive_engine.run ~config ad sched) in
+      let oblivious = Engine.run ~config rt sched in
+      let adaptive = Adaptive_engine.run ~config ad sched in
       if oblivious <> adaptive then
-        QCheck.Test.fail_reportf "engines diverge: oblivious %s@%d, adaptive %s@%d"
-          oblivious.g_kind oblivious.g_cycle adaptive.g_kind adaptive.g_cycle
+        QCheck.Test.fail_reportf "engines diverge: oblivious %s, adaptive %s"
+          (Engine.outcome_string oblivious)
+          (Engine.outcome_string adaptive)
       else true)
 
 let prop_differential_mesh =
