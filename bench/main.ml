@@ -92,6 +92,18 @@ let entries =
        (precomputed hold arrays, indexed wait_since, stamped request
        scratch) is exactly what this measures *)
     case "sim/engine-hotpath" (fun () -> Engine.run mesh8_rt mesh_schedule);
+    (* the hot-path workload with online deadlock detection armed and no
+       event bus installed: the gap against engine-hotpath is the price of
+       building events for the detector's feed plus its per-cycle tick *)
+    case "sim/detect-overhead"
+      (let config =
+         {
+           Engine.default_config with
+           recovery =
+             Some { Engine.default_recovery with trigger = Engine.Detect Obs_detect.default_config };
+         }
+       in
+       fun () -> Engine.run ~config mesh8_rt mesh_schedule);
     (* same workload through the kernel's adaptive mode with a singleton
        option function: the gap between this and engine-hotpath is the
        price of option lists + first-free claims over seniority awards *)
@@ -142,6 +154,7 @@ let smoke =
     "cdg/build-figure1";
     "cdg/cycles-figure1";
     "sim/engine-hotpath";
+    "sim/detect-overhead";
     "sim/adaptive-hotpath";
     "sim/torus5x5-tornado-deadlock";
     "sweep/figure2-seq";

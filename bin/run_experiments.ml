@@ -25,10 +25,11 @@ let known =
     ("exp-sw", `SW);
     ("exp-mc", `MC);
     ("exp-fault", `Fault);
+    ("exp-detect", `Detect);
     ("exp-lint", `Lint);
   ]
 
-let run_one ~quick ~max_p ppf = function
+let run_one ~quick ~max_p ~detect ppf = function
   | `F1 -> Experiments.exp_f1 ~quick ppf
   | `T2 -> Experiments.exp_t2 ~quick ppf
   | `C -> Experiments.exp_corollaries ~quick ppf
@@ -42,7 +43,8 @@ let run_one ~quick ~max_p ppf = function
   | `A -> Experiments.exp_a ~quick ppf
   | `SW -> Experiments.exp_sw ~quick ppf
   | `MC -> Experiments.exp_mc ~quick ppf
-  | `Fault -> Experiments.exp_fault ~quick ppf
+  | `Fault -> Experiments.exp_fault ~quick ~detect ppf
+  | `Detect -> Experiments.exp_detect ~quick ppf
   | `Lint -> Experiments.exp_lint ~quick ppf
 
 type timing = {
@@ -157,7 +159,7 @@ let write_metrics path ~quick ~rows timings =
   output_string oc (Obs.Metrics.to_prometheus reg);
   close_out oc
 
-let main names quick max_p sanitize domains json metrics =
+let main names quick max_p sanitize detect domains json metrics verdicts =
   (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
   let ppf = Format.std_formatter in
   let sanitizer =
@@ -189,7 +191,7 @@ let main names quick max_p sanitize domains json metrics =
         let t0 = Unix.gettimeofday () in
         let runs0 = Engine.run_count () in
         let cancelled0 = Engine.cancelled_count () in
-        let rows = run_one ~quick ~max_p ppf e in
+        let rows = run_one ~quick ~max_p ~detect ppf e in
         Format.pp_print_flush ppf ();
         let tm =
           {
@@ -205,6 +207,19 @@ let main names quick max_p sanitize domains json metrics =
   in
   let timings = List.rev !timings in
   Format.fprintf ppf "@\n=== Summary ===@\n%s@?" (Experiments.summary_table rows);
+  (match verdicts with
+  | None -> ()
+  | Some path ->
+    (* one "id ok|FAIL" line per claim: a canonical, domain-independent
+       reduction CI can diff across configurations (e.g. --detect on/off) *)
+    let oc = open_out path in
+    List.iter
+      (fun r ->
+        Printf.fprintf oc "%s %s\n" r.Experiments.x_id
+          (if r.Experiments.x_ok then "ok" else "FAIL"))
+      rows;
+    close_out oc;
+    Format.fprintf ppf "@\nclaim verdicts written to %s@\n" path);
   let failed = List.filter (fun r -> not r.Experiments.x_ok) rows in
   if failed <> [] then begin
     Format.fprintf ppf "@\n%d claim(s) FAILED@." (List.length failed);
@@ -245,7 +260,7 @@ let main names quick max_p sanitize domains json metrics =
 let names_arg =
   let doc = "Experiments to run (default: all).  One of exp-f1, exp-t2, exp-corollaries, \
              exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-mc, \
-             exp-fault, exp-lint." in
+             exp-fault, exp-detect, exp-lint." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let quick_arg =
@@ -260,6 +275,11 @@ let sanitize_arg =
   let doc = "Run every simulation under the engine sanitizer (per-cycle invariant \
              checks E101-E105); report violations at the end and exit nonzero on any." in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
+
+let detect_arg =
+  let doc = "Run exp-fault's campaigns with online deadlock detection instead of the plain \
+             watchdog (same no-progress backstop; claim verdicts must not change)." in
+  Arg.(value & flag & info [ "detect" ] ~doc)
 
 let domains_arg =
   let doc = "Domains for the parallel sweeps (default: the WORMHOLE_DOMAINS environment \
@@ -278,12 +298,17 @@ let metrics_arg =
              reduced quantities, so the file is byte-identical at any --domains." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let verdicts_arg =
+  let doc = "Write one 'claim-id ok|FAIL' line per claim to $(docv): a canonical reduction \
+             that is byte-identical at any --domains, for diffing across configurations." in
+  Arg.(value & opt (some string) None & info [ "verdicts" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the paper's figures and theorem checks" in
   let info = Cmd.info "experiments" ~doc in
   Cmd.v info
     Term.(
-      const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg $ domains_arg $ json_arg
-      $ metrics_arg)
+      const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg $ detect_arg $ domains_arg
+      $ json_arg $ metrics_arg $ verdicts_arg)
 
 let () = exit (Cmd.eval cmd)

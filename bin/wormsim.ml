@@ -92,8 +92,9 @@ let fault_plan topo rng horizon = function
 (* Recovery policy from the CLI flags; when permanent failures are planned
    and the routing is oblivious, recompute paths around them and re-certify
    the degraded algorithm before handing it to the engine. *)
-let recovery_of faults recovery_on retry_limit watchdog algo =
-  if not recovery_on then None
+let recovery_of faults recovery_on retry_limit watchdog detect detect_bound victim_policy
+    algo =
+  if not (recovery_on || detect) then None
   else
     let reroute =
       match algo with
@@ -140,7 +141,31 @@ let recovery_of faults recovery_on retry_limit watchdog algo =
               None
             end))
     in
-    Some { Engine.default_recovery with retry_limit; watchdog; reroute }
+    let trigger =
+      if not detect then Engine.Watchdog watchdog
+      else begin
+        (* --watchdog doubles as the backstop: the no-progress sweep that
+           still covers acyclic wedges the detector cannot see *)
+        let algorithm =
+          match algo with
+          | `Adaptive ad -> Adaptive.name ad
+          | `Oblivious rt -> Routing.name rt
+        in
+        let diags = Lint.detect_config ~algorithm ~bound:detect_bound ~backstop:watchdog in
+        List.iter (fun d -> Format.printf "%a@." (Diagnostic.pp ()) d) diags;
+        if List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags then
+          failwith "invalid --detect configuration";
+        let policy =
+          match Obs_detect.victim_policy_of_string victim_policy with
+          | Some p -> p
+          | None ->
+            failwith
+              ("unknown --victim-policy: " ^ victim_policy ^ " (minimal, youngest, oldest)")
+        in
+        Engine.Detect { Obs_detect.bound = detect_bound; backstop = watchdog; policy }
+      end
+    in
+    Some { Engine.default_recovery with retry_limit; trigger; reroute }
 
 (* Observability wiring for --trace-out/--metrics-out: a recorder (events
    feed the Chrome exporter and the deadlock post-mortem) teed with a
@@ -198,7 +223,8 @@ let run_oblivious topo rt sched config =
   (Engine.is_deadlock out, pm)
 
 let main topology dims routing pattern rate length horizon permutation seed buffer faults_spec
-    recovery_on retry_limit watchdog witness trace_out metrics_out =
+    recovery_on retry_limit watchdog detect detect_bound victim_policy witness trace_out
+    metrics_out =
   try
     let rng = Rng.create seed in
     match paper_net topology with
@@ -238,7 +264,8 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       in
       let faults = fault_plan net.Paper_nets.topo rng horizon faults_spec in
       let recovery =
-        recovery_of faults recovery_on retry_limit watchdog (`Oblivious rt)
+        recovery_of faults recovery_on retry_limit watchdog detect detect_bound
+          victim_policy (`Oblivious rt)
       in
       Printf.printf "network=%s messages=%d\n" topology (List.length sched);
       if not (Fault.is_empty faults) then
@@ -273,7 +300,8 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       if not (Fault.is_empty faults) then
         Format.printf "faults: %a@." (Fault.pp coords.Builders.topo) faults;
       let recovery =
-        recovery_of faults recovery_on retry_limit watchdog algo
+        recovery_of faults recovery_on retry_limit watchdog detect detect_bound victim_policy
+          algo
       in
       let config =
         { Engine.default_config with buffer_capacity = buffer; faults; recovery }
@@ -350,8 +378,29 @@ let retry_limit_arg =
     & info [ "retry-limit" ] ~docv:"N" ~doc:"maximum aborts per message before it gives up")
 
 let watchdog_arg =
-  Arg.(value & opt int Engine.default_recovery.Engine.watchdog
-    & info [ "watchdog" ] ~docv:"CYCLES" ~doc:"cycles without progress before a message is aborted")
+  Arg.(value & opt int 64
+    & info [ "watchdog" ] ~docv:"CYCLES"
+        ~doc:"cycles without progress before a message is aborted; under $(b,--detect) this \
+              is the backstop that still catches acyclic (fault-wedged) stalls")
+
+let detect_arg =
+  Arg.(value & flag
+    & info [ "detect" ]
+        ~doc:"enable online deadlock detection (implies $(b,--recovery)): wait-for knots are \
+              confirmed within $(b,--detect-bound) cycles of quiescence and only the \
+              $(b,--victim-policy)-chosen victim is aborted, instead of every timed-out \
+              member as under the plain watchdog")
+
+let detect_bound_arg =
+  Arg.(value & opt int Obs_detect.default_config.Obs_detect.bound
+    & info [ "detect-bound" ] ~docv:"CYCLES"
+        ~doc:"cycles a wait-for knot must stay quiescent before the detector confirms it")
+
+let victim_policy_arg =
+  Arg.(value & opt string "minimal"
+    & info [ "victim-policy" ] ~docv:"P"
+        ~doc:"which knot member a detection aborts: minimal (fewest held channels), \
+              youngest, or oldest")
 
 let witness_arg =
   Arg.(value & flag
@@ -379,6 +428,7 @@ let cmd =
     Term.(
       const main $ topo_arg $ dims_arg $ routing_arg $ pattern_arg $ rate_arg $ length_arg
       $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg $ faults_arg $ recovery_arg
-      $ retry_limit_arg $ watchdog_arg $ witness_arg $ trace_out_arg $ metrics_out_arg)
+      $ retry_limit_arg $ watchdog_arg $ detect_arg $ detect_bound_arg $ victim_policy_arg
+      $ witness_arg $ trace_out_arg $ metrics_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -12,10 +12,10 @@
     - [W012]-[W014]  Definition 7-9 closure lints
     - [I020]-[I023]  CDG cycle classifications (Theorems 2-5)
     - [E030]-[I032]  Duato escape-coverage lints
-    - [E040]-[W043]  fault-plan lints
+    - [E040]-[W046]  fault-plan and recovery-config lints
     - [E050]-[I054]  Verify conclusions
     - [E090]-[E091]  search-layer internal errors (fatal)
-    - [E101]-[E105]  simulator sanitizer invariants *)
+    - [E101]-[E106]  simulator sanitizer invariants *)
 
 type severity = Error | Warning | Info
 

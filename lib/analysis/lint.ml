@@ -159,6 +159,29 @@ let reroute ~adaptive ~algorithm topo rt' =
          ~context:ctx);
   Diagnostic.by_severity (List.rev !diags)
 
+let detect_config ~algorithm ~bound ~backstop =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let ctx = [ ("bound", string_of_int bound); ("backstop", string_of_int backstop) ] in
+  if bound < 1 || backstop < 1 then
+    add
+      (Diagnostic.error "E045" (Diagnostic.Algorithm algorithm)
+         (Printf.sprintf
+            "detection bound and backstop must be >= 1 (bound %d, backstop %d); the engine \
+             rejects this config"
+            bound backstop)
+         ~context:ctx)
+  else if backstop <= bound then
+    add
+      (Diagnostic.warning "W046" (Diagnostic.Algorithm algorithm)
+         (Printf.sprintf
+            "backstop %d <= detection bound %d: the no-progress sweep aborts every knot \
+             member before the detector can confirm a victim, making detection dead code; \
+             raise the backstop well above the bound"
+            backstop bound)
+         ~context:ctx);
+  Diagnostic.by_severity (List.rev !diags)
+
 let fault_plan ?labels topo plan =
   let nchan = Topology.num_channels topo in
   let diags = ref [] in

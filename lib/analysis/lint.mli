@@ -38,7 +38,11 @@
     - [W044] recovery reroute configured for an {e adaptive} algorithm: the
       reroute pins each retried message's remaining route.  Older releases
       silently ignored the reroute in adaptive runs, so configs written
-      against that behavior now change meaning -- this warning flags them. *)
+      against that behavior now change meaning -- this warning flags them.
+    - [E045] nonpositive detection bound or backstop (the engine rejects
+      the config at run time)
+    - [W046] detection backstop at or below the detection bound: the
+      no-progress sweep preempts the detector, so detection is dead code *)
 
 val algorithm :
   ?declared_minimal:bool ->
@@ -67,6 +71,12 @@ val reroute :
     topology mismatch ([E044]) and the adaptive route-pinning interaction
     ([W044]).  [adaptive] says whether the primary algorithm routes
     adaptively; [algorithm] names it in the diagnostics. *)
+
+val detect_config : algorithm:string -> bound:int -> backstop:int -> Diagnostic.t list
+(** Lint an online-detection recovery config (plain ints so this layer
+    needs no dependency on the detector's types): nonpositive parameters
+    ([E045]) and a backstop that preempts the detector ([W046]).
+    [algorithm] names the routing function the config will run under. *)
 
 val fault_plan : ?labels:string list -> Topology.t -> Fault.plan -> Diagnostic.t list
 (** Lint a fault plan against a topology: out-of-range channels,

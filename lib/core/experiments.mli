@@ -81,11 +81,21 @@ val exp_mc : ?quick:bool -> Format.formatter -> row list
     verdict; with the unbounded-delay adversary enabled, Figure 1 deadlocks,
     matching Section 6. *)
 
-val exp_fault : ?quick:bool -> Format.formatter -> row list
+val exp_fault : ?quick:bool -> ?detect:bool -> Format.formatter -> row list
 (** Robustness extension: seeded fault campaigns on the figure networks
     terminate deterministically with bounded retries under recovery; with
     recovery off a permanent failure reports as a deadlock; a failed mesh
-    channel is routed around with a re-certified degraded algorithm. *)
+    channel is routed around with a re-certified degraded algorithm.
+    [detect] (default false) swaps the plain watchdog for online deadlock
+    detection with the same no-progress backstop; the claim verdicts must
+    be identical either way. *)
+
+val exp_detect : ?quick:bool -> Format.formatter -> row list
+(** Robustness extension (EXP-D1): on the deterministic deadlock workloads
+    (the Figure-2 witness and torus tornado traffic) the online detector
+    confirms the ground-truth knot within its latency bound, delivers every
+    message the watchdog delivers, and aborts strictly fewer messages than
+    the watchdog on at least one workload. *)
 
 val exp_lint : ?quick:bool -> Format.formatter -> row list
 (** Static-analysis extension: every registered algorithm lints with zero

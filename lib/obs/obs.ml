@@ -90,7 +90,16 @@ let metrics_sink reg =
     c ~help:"Recovery aborts, by reason" ~labels:[ ("reason", reason) ]
       "wormhole_aborts_total"
   in
-  let abort_watchdog = aborts "watchdog" and abort_drop = aborts "drop" in
+  let abort_watchdog = aborts "watchdog"
+  and abort_drop = aborts "drop"
+  and abort_deadlock = aborts "deadlock" in
+  let detections =
+    c ~help:"Deadlock knots confirmed by the online detector"
+      "wormhole_deadlocks_detected_total"
+  in
+  let victims =
+    c ~help:"Messages aborted as deadlock victims" "wormhole_victims_aborted_total"
+  in
   let retries = c ~help:"Messages rescheduled after an abort" "wormhole_retries_total" in
   let gave_up = c ~help:"Messages that exhausted their retry budget" "wormhole_gave_up_total" in
   let faults =
@@ -132,7 +141,13 @@ let metrics_sink reg =
       Metrics.inc delivered;
       Metrics.observe latency l
     | Abort { reason; _ } ->
-      Metrics.inc (if reason = "drop" then abort_drop else abort_watchdog)
+      Metrics.inc
+        (match reason with
+        | "drop" -> abort_drop
+        | "deadlock" -> abort_deadlock
+        | _ -> abort_watchdog)
+    | Deadlock_detected _ -> Metrics.inc detections
+    | Victim_aborted _ -> Metrics.inc victims
     | Retry _ -> Metrics.inc retries
     | Gave_up _ -> Metrics.inc gave_up
     | Fault { kind; _ } -> Metrics.inc (List.assq kind faults)

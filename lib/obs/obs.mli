@@ -55,8 +55,8 @@ val metrics_sink : Metrics.t -> sink
 (** Fold events into the standard [wormhole_*] metric families (runs,
     outcomes, flits by kind, channel acquisitions/releases, wait edges and
     wait-duration histogram, deliveries and latency histogram, aborts by
-    reason, retries, faults by kind, sanitizer trips by severity, pool
-    claims/cancels, search totals).  All instruments are pre-registered, so
+    reason, retries, faults by kind, deadlock detections and victim aborts,
+    sanitizer trips by severity, pool claims/cancels, search totals).  All instruments are pre-registered, so
     the emit path takes no registry lock. *)
 
 val attach_pool : unit -> unit

@@ -138,6 +138,13 @@ let to_json ?topo events =
           ~ts:cycle
           ((match label with Some l -> [ str "message" l ] | None -> [])
           @ if duration > 0 then [ num "duration" duration ] else [])
+      | Deadlock_detected { cycle; members; victims; _ } ->
+        instant ~pid:0 ~tid:0 ~name:"deadlock detected" ~cat:"detection" ~ts:cycle
+          [ str "members" (String.concat " -> " members);
+            str "victims" (String.concat ", " victims) ]
+      | Victim_aborted { cycle; label; policy } ->
+        instant ~pid:1 ~tid:(msg_tid label) ~name:"deadlock victim" ~cat:"detection"
+          ~ts:cycle [ str "policy" policy ]
       | Sanitizer_trip d ->
         instant ~pid:0 ~tid:0 ~name:("sanitizer " ^ d.Diagnostic.code) ~cat:"sanitizer"
           ~ts:(match Obs_event.cycle_of e with Some c -> c | None -> final_cycle)

@@ -36,6 +36,13 @@ type t =
       label : string option;
       duration : int;
     }
+  | Deadlock_detected of {
+      cycle : int;
+      members : string list;
+      channels : Topology.channel list;
+      victims : string list;
+    }
+  | Victim_aborted of { cycle : int; label : string; policy : string }
   | Sanitizer_trip of Diagnostic.t
   | Task_claim of { pool : string; first : int; last : int }
   | Task_cancel of { pool : string; index : int }
@@ -66,7 +73,9 @@ let cycle_of = function
   | Abort { cycle; _ }
   | Retry { cycle; _ }
   | Gave_up { cycle; _ }
-  | Fault { cycle; _ } -> Some cycle
+  | Fault { cycle; _ }
+  | Deadlock_detected { cycle; _ }
+  | Victim_aborted { cycle; _ } -> Some cycle
   | Sanitizer_trip d -> (
     match List.assoc_opt "cycle" d.Diagnostic.context with
     | Some s -> int_of_string_opt s
@@ -107,6 +116,14 @@ let pp ?topo () ppf e =
       (match channel with Some c -> " " ^ chan c | None -> "")
       (match label with Some l -> " " ^ l | None -> "")
       (if duration > 0 then Printf.sprintf " +%d" duration else "")
+  | Deadlock_detected { cycle; members; channels; victims } ->
+    Format.fprintf ppf "[%d] deadlock detected: %s over {%s}; victim%s %s" cycle
+      (String.concat " -> " members)
+      (String.concat ", " (List.map chan channels))
+      (if List.length victims = 1 then "" else "s")
+      (String.concat ", " victims)
+  | Victim_aborted { cycle; label; policy } ->
+    Format.fprintf ppf "[%d] %s aborted as deadlock victim (%s policy)" cycle label policy
   | Sanitizer_trip d -> Format.fprintf ppf "sanitizer-trip %a" (Diagnostic.pp ?topo ()) d
   | Task_claim { pool; first; last } ->
     Format.fprintf ppf "pool %s claims tasks %d..%d" pool first last

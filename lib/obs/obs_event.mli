@@ -55,7 +55,8 @@ type t =
   | Flit of { cycle : int; label : string; channel : Topology.channel; kind : flit_kind }
   | Delivered of { cycle : int; label : string; latency : int }
   | Abort of { cycle : int; label : string; retries : int; reason : string }
-      (** recovery drained the message; [reason] is ["watchdog"] or ["drop"] *)
+      (** recovery drained the message; [reason] is ["watchdog"], ["drop"],
+          or ["deadlock"] (detector-chosen victim) *)
   | Retry of { cycle : int; label : string; resume_at : int }
   | Gave_up of { cycle : int; label : string; fate : string }
   | Fault of {
@@ -65,6 +66,16 @@ type t =
       label : string option;
       duration : int;  (** stall length; 0 otherwise *)
     }
+  | Deadlock_detected of {
+      cycle : int;
+      members : string list;  (** knot labels around the wait-for cycle *)
+      channels : Topology.channel list;  (** the wanted channels, in knot order *)
+      victims : string list;  (** labels the recovery will abort *)
+    }
+      (** the online detector ({!Obs_detect}) confirmed a wait-for knot *)
+  | Victim_aborted of { cycle : int; label : string; policy : string }
+      (** detection-triggered recovery aborted this knot member; the
+          matching {!Abort} event (reason ["deadlock"]) follows *)
   | Sanitizer_trip of Diagnostic.t
   | Task_claim of { pool : string; first : int; last : int }
   | Task_cancel of { pool : string; index : int }

@@ -41,6 +41,8 @@ type t = {
   pm_cycle : Topology.channel list;  (* knot expanded through held chains *)
   pm_occupancy : occupancy list;  (* chronological *)
   pm_aborts : (string * int) list;
+  pm_detections : (int * string list) list;  (* chronological *)
+  pm_victims : (string * int) list;  (* chronological *)
   pm_verdict : (Cycle_analysis.analysis * Cycle_analysis.verdict) option;
 }
 
@@ -91,6 +93,8 @@ let analyze ?rt events =
   let waits : (string, Topology.channel * int * string option) Hashtbl.t = Hashtbl.create 16 in
   let occs = ref [] in
   let aborts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let detections = ref [] in
+  let victims = ref [] in
   let outcome = ref None in
   let last = ref 0 in
   let note_cycle e = match Obs_event.cycle_of e with Some c when c > !last -> last := c | _ -> () in
@@ -124,6 +128,9 @@ let analyze ?rt events =
       | Abort { label; _ } ->
         Hashtbl.remove waits label;
         Hashtbl.replace aborts label (1 + Option.value ~default:0 (Hashtbl.find_opt aborts label))
+      | Deadlock_detected { cycle; members; _ } ->
+        detections := (cycle, members) :: !detections
+      | Victim_aborted { cycle; label; _ } -> victims := (label, cycle) :: !victims
       | _ -> ())
     events;
   let open_occs =
@@ -205,6 +212,8 @@ let analyze ?rt events =
     pm_occupancy = occupancy;
     pm_aborts =
       Hashtbl.fold (fun l n acc -> (l, n) :: acc) aborts [] |> List.sort compare;
+    pm_detections = List.rev !detections;
+    pm_victims = List.rev !victims;
     pm_verdict = verdict;
   }
 
@@ -269,6 +278,19 @@ let pp ?topo () ppf t =
            Format.fprintf ppf "  %s: %s [%d.. never released]@\n" (chan o.oc_channel) o.oc_label
              o.oc_start)
        t.pm_occupancy
+   end);
+  (if t.pm_detections <> [] then begin
+     Format.fprintf ppf "online detections:@\n";
+     List.iter
+       (fun (cycle, members) ->
+         Format.fprintf ppf "  cycle %d: %s@\n" cycle (String.concat " -> " members))
+       t.pm_detections
+   end);
+  (if t.pm_victims <> [] then begin
+     Format.fprintf ppf "deadlock victims:@\n";
+     List.iter
+       (fun (l, cycle) -> Format.fprintf ppf "  %s (aborted cycle %d)@\n" l cycle)
+       t.pm_victims
    end);
   if t.pm_aborts <> [] then begin
     Format.fprintf ppf "aborts:@\n";

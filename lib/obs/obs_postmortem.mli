@@ -37,6 +37,11 @@ type t = {
           wanted channel followed by the rest of its holder's held chain *)
   pm_occupancy : occupancy list;  (** chronological *)
   pm_aborts : (string * int) list;
+  pm_detections : (int * string list) list;
+      (** online-detector confirmations: (cycle, knot members),
+          chronological *)
+  pm_victims : (string * int) list;
+      (** detector-chosen victims: (label, cycle aborted), chronological *)
   pm_verdict : (Cycle_analysis.analysis * Cycle_analysis.verdict) option;
       (** present when [rt] was given, a knot exists, and every edge of
           [pm_cycle] is a genuine CDG edge *)

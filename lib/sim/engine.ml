@@ -5,8 +5,12 @@ type arbitration = Switch_core.arbitration = Fifo | Priority of string list
 
 type switching = Switch_core.switching = Wormhole | Store_and_forward
 
+type trigger = Switch_core.trigger =
+  | Watchdog of int
+  | Detect of Obs_detect.config
+
 type recovery = Switch_core.recovery = {
-  watchdog : int;
+  trigger : trigger;
   retry_limit : int;
   backoff : int;
   reroute : Routing.t option;

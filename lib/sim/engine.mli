@@ -45,11 +45,21 @@ type switching = Switch_core.switching =
           its current channel (requires [buffer_capacity] at least the
           longest message); the classic pre-wormhole discipline *)
 
+type trigger = Switch_core.trigger =
+  | Watchdog of int
+      (** abort any message that goes this many cycles without progress
+          (no flit moved, no channel acquired); >= 1.  Blunt: every
+          member of a deadlock knot times out and is drained. *)
+  | Detect of Obs_detect.config
+      (** online wait-for cycle detection over this run's event stream
+          ({!Obs_detect}): genuine knots are confirmed within
+          [bound] cycles of quiescence and only the policy-chosen victim
+          is aborted; [backstop] keeps a watchdog sweep alive for acyclic
+          wedges (fault-parked worms emit no wait cycle to detect) *)
+
 type recovery = Switch_core.recovery = {
-  watchdog : int;
-      (** cycles a message may go without progress (no flit moved, no
-          channel acquired) before it is presumed deadlocked or lost and
-          aborted; >= 1 *)
+  trigger : trigger;
+      (** what decides a message must be aborted; see {!trigger} *)
   retry_limit : int;
       (** maximum aborts per message; one more abort abandons it; >= 0 *)
   backoff : int;
@@ -63,7 +73,7 @@ type recovery = Switch_core.recovery = {
 }
 
 val default_recovery : recovery
-(** watchdog 64, retry_limit 4, backoff 8, no reroute. *)
+(** [Watchdog 64], retry_limit 4, backoff 8, no reroute. *)
 
 type config = Switch_core.config = {
   buffer_capacity : int;  (** flits per channel queue; >= 1 *)
@@ -117,7 +127,9 @@ type fate = Switch_core.fate =
 
 type retry_stat = Switch_core.retry_stat = {
   t_label : string;
-  t_retries : int;  (** aborts (watchdog or drop) this message went through *)
+  t_retries : int;
+      (** aborts (watchdog, drop, or deadlock victim) this message went
+          through *)
   t_fate : fate;
 }
 
@@ -169,17 +181,19 @@ val run :
     the event path costs one atomic read per run.
 
     [sanitizer] arms per-cycle invariant checking (flit conservation, buffer
-    atomicity, the flit window, wait-for consistency, recovery monotonicity
-    -- codes E101-E105); when omitted, the process-wide sanitizer installed
-    via {!Sanitizer.install} (or the [WORMHOLE_SANITIZE] environment
-    variable) is used if any.  Sanitizing never changes the run's decisions.
+    atomicity, the flit window, wait-for consistency, recovery monotonicity,
+    wait-edge/hold consistency -- codes E101-E106); when omitted, the
+    process-wide sanitizer installed via {!Sanitizer.install} (or the
+    [WORMHOLE_SANITIZE] environment variable) is used if any.  Sanitizing
+    never changes the run's decisions.
 
     Fault semantics: a channel that is down ({!Fault.down}) accepts no new
     acquisition and moves no flits in or out; a permanently failed channel
-    therefore wedges any message still holding it until the watchdog aborts
-    it.  Aborting releases and drains every channel the message holds, then
-    re-injects it after exponential backoff -- along [recovery.reroute] if
-    provided -- up to [retry_limit] times.  With [recovery = None] fault-
+    therefore wedges any message still holding it until the watchdog (or,
+    under a [Detect] trigger, the backstop or the detector's victim choice)
+    aborts it.  Aborting releases and drains every channel the message
+    holds, then re-injects it after exponential backoff -- along
+    [recovery.reroute] if provided -- up to [retry_limit] times.  With [recovery = None] fault-
     blocked traffic is reported as [Deadlock] (permanently blocked), exactly
     like a protocol deadlock, and existing witnesses are unchanged.
 

@@ -16,7 +16,12 @@
     - [E104] wait-for consistency: a waiting message's seniority entry
       matches the channel it currently wants
     - [E105] recovery monotonicity: retries never exceed the limit while a
-      message is live, and the watchdog bound holds after every abort
+      message is live, and the watchdog bound (the backstop under a
+      [Detect] trigger) holds after every abort
+    - [E106] wait-edge/hold consistency: a message advertising a wait-for
+      edge on the event stream holds at least one channel unless it has
+      not injected yet; abandoned messages advertise no edge (a dangling
+      edge would send the online detector chasing a ghost)
 
     The checks are pure observers -- a sanitized run takes the same
     decisions as an unsanitized one, only slower.

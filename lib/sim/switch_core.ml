@@ -2,14 +2,24 @@ type arbitration = Fifo | Priority of string list
 
 type switching = Wormhole | Store_and_forward
 
+type trigger = Watchdog of int | Detect of Obs_detect.config
+
 type recovery = {
-  watchdog : int;
+  trigger : trigger;
   retry_limit : int;
   backoff : int;
   reroute : Routing.t option;
 }
 
-let default_recovery = { watchdog = 64; retry_limit = 4; backoff = 8; reroute = None }
+let default_recovery = { trigger = Watchdog 64; retry_limit = 4; backoff = 8; reroute = None }
+
+(* The stall threshold of the global no-progress sweep.  Under [Detect]
+   the detector handles wait-for knots, but an {e acyclic} wedge (a worm
+   parked forever behind a failed link, holding channels while waiting in
+   no cycle) emits no wait cycle to detect -- the [backstop] keeps the
+   sweep alive for those. *)
+let watchdog_of r =
+  match r.trigger with Watchdog w -> w | Detect c -> c.Obs_detect.backstop
 
 type config = {
   buffer_capacity : int;
@@ -115,6 +125,11 @@ type msg_state = {
          >= 0); adaptive: sticky first-wait cycle, [max_int] when not
          waiting *)
   mutable awarded_now : int;  (* adaptive: channel awarded this cycle; -1 if none *)
+  mutable wait_edge : int;
+      (* adaptive: the channel whose wait-for edge is currently advertised
+         on the event stream (the header's first option when it last won
+         nothing); -1 when no edge is outstanding.  Maintained even with
+         the bus off so the sanitizer can check E106. *)
   mutable forced : Topology.channel array;
       (* adaptive: reroute-pinned remaining route; [||] when free *)
 }
@@ -167,7 +182,11 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
   (match config.recovery with
   | None -> ()
   | Some r ->
-    if r.watchdog < 1 then inv "recovery watchdog < 1";
+    (match r.trigger with
+    | Watchdog w -> if w < 1 then inv "recovery watchdog < 1"
+    | Detect c ->
+      if c.Obs_detect.bound < 1 then inv "recovery detect bound < 1";
+      if c.Obs_detect.backstop < 1 then inv "recovery detect backstop < 1");
     if r.retry_limit < 0 then inv "recovery retry_limit < 0";
     if r.backoff < 1 then inv "recovery backoff < 1";
     (match r.reroute with
@@ -205,9 +224,21 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
         guarded by [obs_on] so a disabled bus allocates nothing.  Emission
         is pure observation -- the run takes identical decisions with any
         sink installed (QCheck-checked in test_obs). -- *)
-  let obs = match obs with Some _ as s -> s | None -> Obs.current () in
-  let obs_on = obs <> None in
-  let emit e = match obs with Some s -> s.Obs.emit e | None -> () in
+  let user_obs = match obs with Some _ as s -> s | None -> Obs.current () in
+  (* -- online detection: a [Detect] trigger instantiates the detector and
+        forces event construction for this run (the detector IS engine
+        semantics, so unlike user sinks its cost is accepted when chosen);
+        with [Watchdog] and no sink, the hot path stays event-free. -- *)
+  let det =
+    match config.recovery with
+    | Some { trigger = Detect dcfg; _ } -> Some (Obs_detect.create dcfg)
+    | Some { trigger = Watchdog _; _ } | None -> None
+  in
+  let obs_on = user_obs <> None || det <> None in
+  let emit e =
+    (match det with Some d -> Obs_detect.feed d e | None -> ());
+    match user_obs with Some s -> s.Obs.emit e | None -> ()
+  in
   if obs_on then begin
     emit
       (Obs_event.Run_start
@@ -263,6 +294,7 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
           waiting_for = -1;
           wait_since = (if oblivious then 0 else max_int);
           awarded_now = -1;
+          wait_edge = -1;
           forced = [||];
         })
       sched
@@ -478,11 +510,12 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
               viol "E105" m
                 (Printf.sprintf "live message has %d retries, over the limit %d" m.retries
                    r.retry_limit);
-            if active m && t - m.last_progress >= r.watchdog then
+            let w = watchdog_of r in
+            if active m && t - m.last_progress >= w then
               viol "E105" m
                 (Printf.sprintf
                    "watchdog bound broken: no progress since cycle %d (watchdog %d)"
-                   m.last_progress r.watchdog)
+                   m.last_progress w)
           | Some _ | None -> ())
         marr;
       let on_route m c =
@@ -492,16 +525,37 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
         done;
         !found
       in
+      let held = Array.make (Array.length marr) 0 in
       Array.iteri
         (fun c own ->
-          if own >= 0 then
+          if own >= 0 then begin
+            held.(own) <- held.(own) + 1;
             let m = marr.(own) in
             if not (on_route m c) then
               viol "E102" m
                 (Printf.sprintf "owns %s which is not on its %s"
                    (Topology.channel_name topo c)
-                   (if oblivious then "path" else "carved path")))
-        owner
+                   (if oblivious then "path" else "carved path"))
+          end)
+        owner;
+      (* E106: wait-for stream consistency.  An advertised wait edge from
+         a message that holds nothing is a dangling edge the online
+         detector would chase into nowhere -- only a not-yet-injected
+         source-side waiter may legitimately wait while holding nothing. *)
+      Array.iter
+        (fun m ->
+          let edge = if oblivious then m.waiting_for else m.wait_edge in
+          if edge >= 0 then begin
+            if m.gone <> None then
+              viol "E106" m
+                (Printf.sprintf "abandoned message still advertises a wait-for edge on %s"
+                   (Topology.channel_name topo edge))
+            else if m.injected > 0 && held.(m.idx) = 0 then
+              viol "E106" m
+                (Printf.sprintf "waits for %s but holds no channel"
+                   (Topology.channel_name topo edge))
+          end)
+        marr
   in
   (* abort-and-drain: release every held channel, drop buffered flits, and
      return the message to its pre-injection state *)
@@ -525,6 +579,15 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
       m.waiting_for <- -1
     end
     else begin
+      (* retract the advertised wait-for edge: without this, a message
+         aborted mid-wait leaves a dangling edge on the stream that the
+         online detector would keep chasing (sanitizer E106) *)
+      if obs_on && m.wait_edge >= 0 then
+        emit
+          (Obs_event.Wait_drop
+             { cycle = t; label = m.spec.Schedule.ms_label; channel = m.wait_edge;
+               waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
+      m.wait_edge <- -1;
       m.wait_since <- max_int;
       m.plen <- 0  (* the carved route is forgotten; a retry carves afresh *)
     end;
@@ -714,6 +777,16 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
           claim_order.(!nclaim) <- j;
           incr nclaim
         end
+        else if m.wait_edge >= 0 then begin
+          (* the header can no longer move at all (arrived, delivered, or
+             fault-pinned): its advertised edge is stale *)
+          if obs_on then
+            emit
+              (Obs_event.Wait_drop
+                 { cycle = t; label = m.spec.Schedule.ms_label; channel = m.wait_edge;
+                   waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
+          m.wait_edge <- -1
+        end
       done;
       (* insertion sort of the claimants by (wait_since, rank): keys are
          unique (rank embeds the schedule index), so this matches a
@@ -757,27 +830,39 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
                  { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
                    waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
           m.wait_since <- max_int;
+          (* the acquisition resolves the advertised edge (Channel_acquire
+             implies resolution; no Wait_drop is emitted) *)
+          m.wait_edge <- -1;
           m.progressed <- true;
           moved := true
         | None -> ()
       done;
-      (* a claimant that won nothing and just started waiting contributes a
-         wait-for edge on its first (preferred) option *)
-      if obs_on then
-        for a = 0 to !nclaim - 1 do
-          let m = marr.(claim_order.(a)) in
-          if m.awarded_now < 0 && m.wait_since = t then begin
-            match opts_now.(m.idx) with
-            | c :: _ ->
+      (* wait-for edge maintenance: a claimant that won nothing advertises
+         an edge on its first (preferred) option; when the preference moves
+         the old edge is retracted before the new one appears, so the
+         stream always carries at most one edge per message *)
+      for a = 0 to !nclaim - 1 do
+        let m = marr.(claim_order.(a)) in
+        if m.awarded_now < 0 then begin
+          match opts_now.(m.idx) with
+          | c :: _ when c <> m.wait_edge ->
+            if obs_on then begin
+              if m.wait_edge >= 0 then
+                emit
+                  (Obs_event.Wait_drop
+                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.wait_edge;
+                       waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
               emit
                 (Obs_event.Wait_add
                    { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
                      holder =
                        (if owner.(c) >= 0 then Some marr.(owner.(c)).spec.Schedule.ms_label
                         else None) })
-            | [] -> ()
-          end
-        done);
+            end;
+            m.wait_edge <- c
+          | _ -> ()
+        end
+      done);
     (* -- movement: per message, sweep from the front so freed slots are
           visible to the flits behind (wormhole pipelining).  A down channel
           (failed or stalled) neither accepts nor emits flits. -- *)
@@ -980,14 +1065,48 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
             | Some r -> abort_retry m r t ~reason:"drop"
           end)
         marr;
+    (* -- online detection: end-of-cycle tick confirms quiescent wait-for
+          knots; only the policy-chosen victim is aborted, so the rest of
+          the knot unwinds through the freed channels instead of being
+          drained wholesale like a watchdog abort. -- *)
+    (match (config.recovery, det) with
+    | Some r, Some d ->
+      let policy_name =
+        match r.trigger with
+        | Detect c -> Obs_detect.victim_policy_string c.Obs_detect.policy
+        | Watchdog _ -> "minimal"
+      in
+      List.iter
+        (fun (dk : Obs_detect.detection) ->
+          emit
+            (Obs_event.Deadlock_detected
+               { cycle = t; members = List.map fst dk.Obs_detect.dk_members;
+                 channels = List.map snd dk.Obs_detect.dk_members;
+                 victims = dk.Obs_detect.dk_victims });
+          List.iter
+            (fun v ->
+              let vm = ref None in
+              Array.iter
+                (fun m -> if m.spec.Schedule.ms_label = v then vm := Some m)
+                marr;
+              match !vm with
+              | Some m when active m ->
+                perturbed := true;
+                emit (Obs_event.Victim_aborted { cycle = t; label = v; policy = policy_name });
+                abort_retry m r t ~reason:"deadlock"
+              | Some _ | None -> ())
+            dk.Obs_detect.dk_victims)
+        (Obs_detect.tick d ~now:t)
+    | (Some _ | None), _ -> ());
     (match config.recovery with
     | None -> ()
     | Some r ->
+      let w = watchdog_of r in
       Array.iter
         (fun m ->
           if active m then begin
             if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
-            else if t - m.last_progress >= r.watchdog then begin
+            else if t - m.last_progress >= w then begin
               perturbed := true;
               abort_retry m r t ~reason:"watchdog"
             end

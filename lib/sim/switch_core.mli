@@ -18,8 +18,9 @@
       [test_qcheck]'s differential suite).
 
     Everything else -- fault application, watchdog/backoff recovery
-    (including [recovery.reroute], honored by {e both} modes), the sanitizer
-    sweep (E101-E105), and [Obs] emission -- lives here exactly once.
+    (including [recovery.reroute], honored by {e both} modes), online
+    deadlock detection ({!trigger} [Detect]), the sanitizer sweep
+    (E101-E106), and [Obs] emission -- lives here exactly once.
 
     Mode-specific semantics kept intentionally (see DESIGN.md section 12):
     adaptive runs ignore per-message adversarial holds ([ms_holds]) and
@@ -44,11 +45,23 @@ type switching =
           longest message); the classic pre-wormhole discipline.  Oblivious
           mode only; adaptive runs always switch wormhole. *)
 
+type trigger =
+  | Watchdog of int
+      (** abort any message that goes this many cycles without progress
+          (no flit moved, no channel acquired); >= 1.  Blunt: every
+          member of a deadlock knot times out and is drained. *)
+  | Detect of Obs_detect.config
+      (** online wait-for cycle detection: an {!Obs_detect.t} consumes
+          this run's event stream and confirms genuine knots within
+          [bound] cycles of quiescence; only the policy-chosen victim is
+          aborted, so the rest of the knot unwinds through the freed
+          channels.  [backstop] keeps a watchdog sweep alive for acyclic
+          wedges (e.g. a worm parked behind a failed link), which emit no
+          wait cycle to detect. *)
+
 type recovery = {
-  watchdog : int;
-      (** cycles a message may go without progress (no flit moved, no
-          channel acquired) before it is presumed deadlocked or lost and
-          aborted; >= 1 *)
+  trigger : trigger;
+      (** what decides a message must be aborted; see {!trigger} *)
   retry_limit : int;
       (** maximum aborts per message; one more abort abandons it; >= 0 *)
   backoff : int;
@@ -64,7 +77,7 @@ type recovery = {
 }
 
 val default_recovery : recovery
-(** watchdog 64, retry_limit 4, backoff 8, no reroute. *)
+(** [Watchdog 64], retry_limit 4, backoff 8, no reroute. *)
 
 type config = {
   buffer_capacity : int;  (** flits per channel queue; >= 1 *)
@@ -119,7 +132,9 @@ type fate =
 
 type retry_stat = {
   t_label : string;
-  t_retries : int;  (** aborts (watchdog or drop) this message went through *)
+  t_retries : int;
+      (** aborts (watchdog, drop, or deadlock victim) this message went
+          through *)
   t_fate : fate;
 }
 
@@ -171,17 +186,23 @@ val run :
     [obs] attaches a structured-event sink for this run (falling back to the
     process-wide {!Obs.install}ed one); the [Run_start] event reports the
     engine as ["oblivious"] or ["adaptive"].  [sanitizer] arms the per-cycle
-    invariant sweep (codes E101-E105), falling back to the process-wide
+    invariant sweep (codes E101-E106), falling back to the process-wide
     {!Sanitizer.install}ed one.  Both are pure observation: the run takes
-    identical decisions with any sink or sanitizer attached.
+    identical decisions with any sink or sanitizer attached.  A [Detect]
+    recovery trigger is different: the detector is part of the engine's
+    semantics, so it is fed the event stream unconditionally (event
+    construction is forced for the run even with no sink installed).
 
     Fault semantics: a channel that is down ({!Fault.down}) accepts no new
     acquisition and moves no flits in or out.  An oblivious header waits for
     its (down) fixed channel, keeping its seniority; an adaptive header is
     simply never offered a down option, steering around the fault.  The
-    watchdog aborts wedged messages either way; aborting releases and drains
+    watchdog (or, under [Detect], the backstop and the detector's victim
+    choice) aborts wedged messages either way; aborting releases and drains
     every held channel, then re-injects after exponential backoff -- along
-    [recovery.reroute] if provided -- up to [retry_limit] times.
+    [recovery.reroute] if provided -- up to [retry_limit] times.  Detection
+    emits [Deadlock_detected] / [Victim_aborted] events, and victim aborts
+    carry reason ["deadlock"].
 
     @raise Invalid_argument on malformed schedules or configs, with the
     calling engine's name ("Engine.run:" / "Adaptive_engine.run:") in the

@@ -3,10 +3,17 @@
 
 Compares a freshly produced wormhole-bench/1 JSON against a committed
 baseline and fails (exit 1) when any gated benchmark regresses by more
-than the threshold.  Gated cases are the pooled-sweep pair and the engine
-hot path -- the perf surfaces past PRs optimized deliberately; everything
-else is reported but not enforced (micro-benchmarks on shared CI runners
-are too noisy to gate wholesale).
+than the threshold.  Gated cases are the pooled-sweep pair, the engine
+hot path and the detection-off overhead case -- the perf surfaces past
+PRs optimized deliberately; everything else is reported but not enforced
+(micro-benchmarks on shared CI runners are too noisy to gate wholesale).
+
+A gated case present in the baseline but missing from the fresh run is a
+failure (a renamed case must not silently escape the gate).  A gated
+case missing from the *baseline* is only reported: that is the expected
+state right after a new case lands, before the baseline is refreshed.
+Cases added or removed relative to the baseline are listed informationally
+so a stale baseline is visible in the CI log.
 
 Usage:
     scripts/bench_gate.py BASELINE.json FRESH.json [--threshold 0.20]
@@ -21,6 +28,7 @@ GATED = [
     "wormhole/sweep/figure2-seq",
     "wormhole/sweep/figure2-parallel",
     "wormhole/sim/engine-hotpath",
+    "wormhole/sim/detect-overhead",
 ]
 
 
@@ -52,13 +60,21 @@ def main(argv):
     fresh = fresh_doc.get("benchmarks", {})
 
     failures = []
+    gated_compared = 0
     for name in GATED:
         b, f = base.get(name), fresh.get(name)
-        if b is None or f is None or not b:
-            # a gated case missing from either side is itself a failure:
-            # silently skipping would let a renamed case escape the gate
-            failures.append(f"{name}: missing ({'baseline' if b is None else 'fresh'})")
+        if b is None or not b:
+            # Not in the baseline yet: the gate only compares keys present
+            # on both sides, so a freshly added gated case rides ungated
+            # until the committed baseline is refreshed.
+            print(f"skip {name}: not in baseline (refresh the baseline to gate it)")
             continue
+        if f is None:
+            # In the baseline but gone from the fresh run: a renamed or
+            # dropped case must not silently escape the gate.
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        gated_compared += 1
         ratio = f / b
         marker = "FAIL" if ratio > 1.0 + threshold else "ok"
         print(f"{marker:4} {name}: {b:.0f} ns -> {f:.0f} ns ({ratio:+.1%})".replace("+", ""))
@@ -71,12 +87,21 @@ def main(argv):
         if b:
             print(f"info {name}: {b:.0f} ns -> {f:.0f} ns ({f / b - 1.0:+.1%})")
 
+    added = sorted(set(fresh) - set(base))
+    removed = sorted(set(base) - set(fresh) - set(GATED))
+    for name in added:
+        print(f"info {name}: added since baseline ({fresh[name]:.0f} ns)")
+    for name in removed:
+        print(f"info {name}: removed since baseline")
+
     if failures:
         print("\nbench_gate: regression over threshold:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nbench_gate: all {len(GATED)} gated cases within {threshold:.0%} of baseline")
+    print(
+        f"\nbench_gate: all {gated_compared} gated cases within {threshold:.0%} of baseline"
+    )
     return 0
 
 

@@ -266,7 +266,7 @@ let test_sanitized_faulted_run_clean () =
     {
       Engine.default_config with
       faults = plan;
-      recovery = Some { Engine.default_recovery with watchdog = 16; retry_limit = 3; backoff = 4 };
+      recovery = Some { Engine.default_recovery with trigger = Engine.Watchdog 16; retry_limit = 3; backoff = 4 };
     }
   in
   let sched =

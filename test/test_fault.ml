@@ -193,7 +193,7 @@ let test_watchdog_gives_up_on_permanent_failure () =
       Engine.default_config with
       faults = Fault.make [ Fault.Link_failure { channel = bc; at = 0 } ];
       recovery =
-        Some { Engine.default_recovery with watchdog = 4; retry_limit = 2; backoff = 1 };
+        Some { Engine.default_recovery with trigger = Engine.Watchdog 4; retry_limit = 2; backoff = 1 };
     }
   in
   let out = Engine.run ~config rt [ Schedule.message ~length:2 "m" a d ] in
@@ -233,7 +233,7 @@ let test_drop_with_recovery_retries () =
       Engine.default_config with
       faults = Fault.make [ Fault.Message_drop { label = "m2"; at = 2 } ];
       recovery =
-        Some { Engine.default_recovery with watchdog = 8; retry_limit = 2; backoff = 2 };
+        Some { Engine.default_recovery with trigger = Engine.Watchdog 8; retry_limit = 2; backoff = 2 };
     }
   in
   let out = Engine.run ~config rt sched in
@@ -266,7 +266,7 @@ let test_reroute_restores_delivery () =
       recovery =
         Some
           {
-            Engine.watchdog = 8;
+            Engine.trigger = Engine.Watchdog 8;
             retry_limit = 3;
             backoff = 2;
             reroute = Some d.Degrade.routing;
@@ -296,7 +296,7 @@ let test_abort_resets_wait_seniority () =
       Engine.default_config with
       faults = Fault.make [ Fault.Transient_stall { channel = bc; at = 0; duration = 9 } ];
       recovery =
-        Some { Engine.default_recovery with watchdog = 4; retry_limit = 5; backoff = 1 };
+        Some { Engine.default_recovery with trigger = Engine.Watchdog 4; retry_limit = 5; backoff = 1 };
     }
   in
   let sched =
@@ -333,7 +333,7 @@ let test_adaptive_recovery_terminates () =
               { channel = List.hd (Topology.channels topo); at = 0; duration = 6 };
           ];
       recovery =
-        Some { Engine.default_recovery with watchdog = 8; retry_limit = 3; backoff = 2 };
+        Some { Engine.default_recovery with trigger = Engine.Watchdog 8; retry_limit = 3; backoff = 2 };
     }
   in
   let run () = Adaptive_engine.run ~config ad sched in

@@ -86,7 +86,7 @@ let prop_sink_purity_recovery =
         {
           Engine.default_config with
           recovery =
-            Some { Engine.default_recovery with watchdog = 8; retry_limit = 2; backoff = 4 };
+            Some { Engine.default_recovery with trigger = Engine.Watchdog 8; retry_limit = 2; backoff = 4 };
         }
       in
       Engine.run ~config ring5_rt sched = observed_run ~config ring5_rt sched)

@@ -255,7 +255,7 @@ let recovery_config faults =
   {
     Engine.default_config with
     faults;
-    recovery = Some { Engine.default_recovery with watchdog = 16; retry_limit; backoff = 4 };
+    recovery = Some { Engine.default_recovery with trigger = Engine.Watchdog 16; retry_limit; backoff = 4 };
   }
 
 let random_faults coords sched (seed, failures, stalls, drop) =
@@ -338,7 +338,10 @@ let recovery_gen =
       let* watchdog = 8 -- 32 in
       let* retry_limit = 0 -- 3 in
       let* backoff = 1 -- 8 in
-      return (Some { Engine.default_recovery with watchdog; retry_limit; backoff }))
+      return
+        (Some
+           { Engine.default_recovery with trigger = Engine.Watchdog watchdog; retry_limit;
+             backoff }))
 
 let differential_case_gen coords =
   let sched_gen = schedule_gen coords in
@@ -360,7 +363,12 @@ let differential_case_gen coords =
         (match recovery with
         | None -> "off"
         | Some r ->
-          Printf.sprintf "watchdog=%d retries=%d backoff=%d" r.Engine.watchdog
+          Printf.sprintf "%s retries=%d backoff=%d"
+            (match r.Engine.trigger with
+            | Engine.Watchdog w -> Printf.sprintf "watchdog=%d" w
+            | Engine.Detect c ->
+              Printf.sprintf "detect(bound=%d,backstop=%d)" c.Obs_detect.bound
+                c.Obs_detect.backstop)
             r.Engine.retry_limit r.Engine.backoff))
     QCheck.Gen.(
       let* sched = QCheck.gen sched_gen in
