@@ -145,6 +145,11 @@ let entries =
       (let templates = List.map (fun i -> Explorer.intent_template fig2 i) fig2.intents in
        let sp = { (Explorer.default_space templates) with priorities = Explorer.Fifo_only } in
        fun () -> Explorer.explore fig2_rt sp);
+    (* the PR-7 synthesis pipeline: full synthesize (check + routing +
+       self-audit) on the big mesh, and the bare existence checker on the
+       torus, whose wrap channels make the valley heuristics work hardest *)
+    case "analysis/synth-mesh8x8" (fun () -> Synth.synthesize mesh8.Builders.topo);
+    case "analysis/check-torus5x5" (fun () -> Synth.check torus5.Builders.topo);
   ]
 
 (* fast cases that still cover the PR-3 surfaces: CDG machinery, the engine

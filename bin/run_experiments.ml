@@ -27,6 +27,7 @@ let known =
     ("exp-fault", `Fault);
     ("exp-detect", `Detect);
     ("exp-lint", `Lint);
+    ("exp-synth", `Synth);
   ]
 
 let run_one ~quick ~max_p ~detect ppf = function
@@ -46,6 +47,7 @@ let run_one ~quick ~max_p ~detect ppf = function
   | `Fault -> Experiments.exp_fault ~quick ~detect ppf
   | `Detect -> Experiments.exp_detect ~quick ppf
   | `Lint -> Experiments.exp_lint ~quick ppf
+  | `Synth -> Experiments.exp_synth ~quick ppf
 
 type timing = {
   tm_name : string;
@@ -260,7 +262,7 @@ let main names quick max_p sanitize detect domains json metrics verdicts =
 let names_arg =
   let doc = "Experiments to run (default: all).  One of exp-f1, exp-t2, exp-corollaries, \
              exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-mc, \
-             exp-fault, exp-detect, exp-lint." in
+             exp-fault, exp-detect, exp-lint, exp-synth." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let quick_arg =

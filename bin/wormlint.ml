@@ -53,6 +53,36 @@ let run_corpus json =
       results;
   if failed = [] then 0 else 1
 
+(* Synthesis mode: run the existence checker + certified synthesis over
+   every distinct registry network.  Exit 1 when any E-severity diagnostic
+   fires -- the registry deliberately includes the under-provisioned
+   unidirectional ring, so a full --synth run exits 1 by design (CI pins
+   the exact output instead of the exit code). *)
+let run_synth json =
+  let results = Synth_cert.run_all () in
+  let num_errors =
+    List.fold_left
+      (fun n t -> n + List.length (Diagnostic.errors t.Synth_cert.sc_diagnostics))
+      0 results
+  in
+  if json then
+    print_endline ("[" ^ String.concat "," (List.map Synth_cert.json results) ^ "]")
+  else
+    List.iter
+      (fun t ->
+        let verdict =
+          match t.Synth_cert.sc_result with
+          | Ok (_, plan) -> "exists via " ^ plan.Synth.p_strategy
+          | Error _ -> "impossible"
+        in
+        Format.printf "%s: %s@." t.Synth_cert.sc_network verdict;
+        List.iter
+          (fun d ->
+            Format.printf "  %a@." (Diagnostic.pp ~topo:t.Synth_cert.sc_topology ()) d)
+          t.Synth_cert.sc_diagnostics)
+      results;
+  if num_errors = 0 then 0 else 1
+
 (* Prometheus text file with the full (algorithm x severity) count matrix;
    every cell is pre-registered so CI thresholds can distinguish "linted
    clean" (0) from "not linted" (series absent). *)
@@ -179,10 +209,11 @@ let lint_entries json fault_spec reroute_name all_flag metrics selection =
   (match metrics with None -> () | Some path -> write_metrics path results);
   if num_errors = 0 then 0 else 1
 
-let main list corpus json fault_spec reroute_name all_flag domains metrics selection =
+let main list corpus synth json fault_spec reroute_name all_flag domains metrics selection =
   (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
   if list then list_registry ()
   else if corpus then run_corpus json
+  else if synth then run_synth json
   else lint_entries json fault_spec reroute_name all_flag metrics selection
 
 let list_flag =
@@ -209,6 +240,15 @@ let corpus_flag =
     & info [ "corpus" ]
         ~doc:"Run the seeded-defect corpus: each entry must raise its expected code exactly \
               once.")
+
+let synth_flag =
+  Arg.(
+    value & flag
+    & info [ "synth" ]
+        ~doc:"Run the deadlock-free-routing existence checker and certified synthesis over \
+              every distinct registry network: E060 with a machine-checkable witness where \
+              no deadlock-free routing exists, I061 with the Verify certificate where one \
+              was synthesized, W062 where the synthesized routing leaves channels unused.")
 
 let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
 
@@ -247,7 +287,7 @@ let cmd =
   Cmd.v
     (Cmd.info "wormlint" ~doc)
     Term.(
-      const main $ list_flag $ corpus_flag $ json_flag $ faults_arg $ reroute_arg $ all_flag
-      $ domains_arg $ metrics_arg $ selection_arg)
+      const main $ list_flag $ corpus_flag $ synth_flag $ json_flag $ faults_arg
+      $ reroute_arg $ all_flag $ domains_arg $ metrics_arg $ selection_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -25,6 +25,22 @@ let paper_net = function
   | "figure3f" -> Some (Paper_nets.figure3 `F)
   | _ -> None
 
+(* The paper networks replay their designated messages under the CD
+   algorithm by default; --routing synth swaps in a synthesized certified
+   routing on the same network (same message set, deadlock-free paths). *)
+let paper_rt topology routing net =
+  if routing = "synth" then (
+    match Synth.synthesize ~name:(topology ^ "-synth") net.Paper_nets.topo with
+    | Ok (rt, plan) ->
+      Format.printf "synthesized routing via %s: %d dependencies rank-increasing@."
+        plan.Synth.p_strategy plan.Synth.p_dependencies;
+      rt
+    | Error w ->
+      failwith
+        (Format.asprintf "network admits no deadlock-free routing (E060): %a"
+           (Synth.pp_witness net.Paper_nets.topo) w))
+  else Cd_algorithm.of_net net
+
 let build topology dims routing =
   let dims_list =
     String.split_on_char 'x' dims
@@ -67,6 +83,28 @@ let build topology dims routing =
   | "ring", "dateline" ->
     let coords = Builders.ring ~unidirectional:true ~vcs:2 (List.hd dims_list) in
     { coords; routing = `Oblivious (Ring_routing.dateline coords) }
+  | t, "synth" ->
+    (* synthesize the routing from the topology alone; the unidirectional
+       ring gets dateline VCs so synthesis has a deadlock-free design to
+       find (the 1-VC ring admits none and would be refused with E060) *)
+    let coords =
+      match t with
+      | "mesh" -> Builders.mesh dims_list
+      | "torus" -> Builders.torus dims_list
+      | "hypercube" -> Builders.hypercube (List.hd dims_list)
+      | "ring" -> Builders.ring ~unidirectional:true ~vcs:2 (List.hd dims_list)
+      | _ -> failwith (Printf.sprintf "unsupported topology/routing combination %s/synth" t)
+    in
+    let topo = coords.Builders.topo in
+    (match Synth.synthesize ~name:(t ^ "-synth") topo with
+    | Ok (rt, plan) ->
+      Format.printf "synthesized routing via %s: %d dependencies rank-increasing@."
+        plan.Synth.p_strategy plan.Synth.p_dependencies;
+      { coords; routing = `Oblivious rt }
+    | Error w ->
+      failwith
+        (Format.asprintf "network admits no deadlock-free routing (E060): %a"
+           (Synth.pp_witness topo) w))
   | t, r -> failwith (Printf.sprintf "unsupported topology/routing combination %s/%s" t r)
 
 let pattern_of coords rng = function
@@ -232,7 +270,7 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       (* sweep the intent schedule space for a deadlock witness, then
          replay only the witness under observation (sweeping under the
          sink would record thousands of unrelated runs) *)
-      let rt = Cd_algorithm.of_net net in
+      let rt = paper_rt topology routing net in
       let templates =
         List.map (fun i -> Explorer.intent_template net i) net.Paper_nets.intents
       in
@@ -255,7 +293,7 @@ let main topology dims routing pattern rate length horizon permutation seed buff
     | Some net ->
       (* the paper's CD networks replay their designated messages *)
       let obs = setup_obs trace_out metrics_out in
-      let rt = Cd_algorithm.of_net net in
+      let rt = paper_rt topology routing net in
       let sched =
         List.map
           (fun (it : Paper_nets.intent) ->
@@ -341,7 +379,7 @@ let dims_arg =
   Arg.(value & opt string "8x8" & info [ "dims" ] ~docv:"DxD" ~doc:"dimensions, e.g. 8x8 (hypercube/ring take one number)")
 
 let routing_arg =
-  Arg.(value & opt string "xy" & info [ "routing" ] ~docv:"R" ~doc:"xy, west-first, north-last, negative-first, adaptive, duato, ecube, dateline or clockwise")
+  Arg.(value & opt string "xy" & info [ "routing" ] ~docv:"R" ~doc:"xy, west-first, north-last, negative-first, adaptive, duato, ecube, dateline, clockwise, or synth (synthesize a certified deadlock-free routing from the topology; also valid on paper networks)")
 
 let pattern_arg =
   Arg.(value & opt string "uniform" & info [ "pattern" ] ~docv:"P" ~doc:"uniform, transpose, bit-complement, bit-reverse, tornado, neighbor, hotspot")

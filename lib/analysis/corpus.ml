@@ -275,6 +275,37 @@ let w044 () =
   ( mesh.Builders.topo,
     Lint.reroute ~adaptive:true ~algorithm:(Adaptive.name ad) mesh.Builders.topo reroute )
 
+(* -- synthesis verdicts ----------------------------------------------- *)
+
+let synth_diags t = Synth.diagnostics t (Synth.synthesize t)
+
+let e060_ring n () =
+  let t = (Builders.ring ~unidirectional:true n).Builders.topo in
+  (t, synth_diags t)
+
+let e060_disconnected () =
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let _ab = Topology.add_channel t a b in
+  (t, synth_diags t)
+
+let i061 () =
+  let (t, _, _) = square () in
+  (t, synth_diags t)
+
+let w062 () =
+  (* two nodes, two VCs per direction: any deadlock-free routing needs only
+     one channel per pair, so synthesis restricts to a sub-network *)
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let _ab0 = Topology.add_channel t a b in
+  let _ab1 = Topology.add_channel ~vc:1 t a b in
+  let _ba0 = Topology.add_channel t b a in
+  let _ba1 = Topology.add_channel ~vc:1 t b a in
+  (t, synth_diags t)
+
 let entries () =
   [
     entry "livelock-triangle" "E001" "the (a,c) walk ping-pongs between a and b" e001;
@@ -301,6 +332,18 @@ let entries () =
     entry "fault-double-fail" "W043" "the same channel fails permanently twice" w043;
     entry "adaptive-pinned-reroute" "W044"
       "a recovery reroute pins retried paths on an adaptive algorithm" w044;
+    entry "ring-no-df-routing" "E060"
+      "under-provisioned unidirectional 4-ring: every connector closes the cycle"
+      (e060_ring 4);
+    entry "ring5-no-df-routing" "E060"
+      "under-provisioned unidirectional 5-ring: no deadlock-free routing exists"
+      (e060_ring 5);
+    entry "disconnected-no-df-routing" "E060"
+      "one-way a->b network: not strongly connected, no routing of any kind" e060_disconnected;
+    entry "synth-certified-square" "I061"
+      "bidirectional 4-cycle: synthesis succeeds and certifies its rank order" i061;
+    entry "synth-restricted-2vc" "W062"
+      "two nodes with doubled VCs: the synthesized routing leaves a VC layer unused" w062;
   ]
 
 let check e =

@@ -5,7 +5,11 @@
     expects the named code to appear {e exactly once}.  Other codes may ride
     along where the defect forces them (a livelocked pair necessarily leaves
     its direct channel dead, so the E001 entry also carries a W010); the
-    check is on the expected code's count only.  EXP-LINT and the wormlint
+    check is on the expected code's count only.  The synthesis entries work
+    the same way in both directions: impossibility miniatures
+    (under-provisioned unidirectional rings, a disconnected pair) must
+    raise [E060], and well-provisioned miniatures must earn their [I061]
+    certificate or [W062] restriction note.  EXP-LINT and the wormlint
     [--corpus] flag both run {!check_all}. *)
 
 type entry = {

@@ -14,6 +14,7 @@
     - [E030]-[I032]  Duato escape-coverage lints
     - [E040]-[W046]  fault-plan and recovery-config lints
     - [E050]-[I054]  Verify conclusions
+    - [E060]-[W062]  synthesis verdicts (existence, certificate, restriction)
     - [E090]-[E091]  search-layer internal errors (fatal)
     - [E101]-[E106]  simulator sanitizer invariants *)
 

@@ -87,6 +87,58 @@ let topology e =
   | Oblivious rt -> Routing.topology rt
   | Adaptive (ad, _) -> Adaptive.topology ad
 
+(* Every stable diagnostic code the library can emit, in code order.  The
+   registry-completeness test greps the sources for code literals and fails
+   on drift in either direction, so additions land here in the same PR that
+   introduces the code. *)
+let diagnostic_codes : (string * Diagnostic.severity * string) list =
+  [
+    ("E001", Diagnostic.Error, "routing walk exceeds the livelock step cutoff");
+    ("E002", Diagnostic.Error, "routing returns a channel that does not leave the current node");
+    ("E003", Diagnostic.Error, "routing consumes at a node that is not the destination");
+    ("E004", Diagnostic.Error, "routing keeps going after reaching the destination");
+    ("E005", Diagnostic.Error, "adaptive function offers no output channel in a reachable state");
+    ("W010", Diagnostic.Warning, "channel is never used by any routed pair");
+    ("E011", Diagnostic.Error, "algorithm declared minimal but a pair takes a non-shortest path");
+    ("W012", Diagnostic.Warning, "path set is not suffix-closed (Definition 8)");
+    ("W013", Diagnostic.Warning, "path set is not prefix-closed (Definition 7)");
+    ("W014", Diagnostic.Warning, "a routed path repeats a node");
+    ("I020", Diagnostic.Info, "CDG cycle is a false resource cycle (Theorem 2/3)");
+    ("W021", Diagnostic.Warning, "CDG cycle outside the Theorem 2-5 cases, needs dynamic search");
+    ("E022", Diagnostic.Error, "reachable CDG cycle in an algorithm declared deadlock-free");
+    ("I023", Diagnostic.Info, "reachable CDG cycle in a declared-deadlocking counterexample");
+    ("E030", Diagnostic.Error, "escape channel is never among the adaptive options");
+    ("E031", Diagnostic.Error, "extended CDG cycle breaks Duato coverage (declared deadlock-free)");
+    ("I032", Diagnostic.Info, "extended CDG cycle in a declared-deadlocking adaptive algorithm");
+    ("E040", Diagnostic.Error, "fault plan references a channel outside the topology");
+    ("E041", Diagnostic.Error, "stall window opens after the channel permanently failed");
+    ("W042", Diagnostic.Warning, "drop event references a message label no message carries");
+    ("W043", Diagnostic.Warning, "the same channel fails permanently more than once");
+    ("E044", Diagnostic.Error, "recovery reroute is built on a different topology");
+    ("W044", Diagnostic.Warning, "adaptive algorithm with a reroute pins retried messages' routes");
+    ("E045", Diagnostic.Error, "detection bound and backstop must be >= 1");
+    ("W046", Diagnostic.Warning, "backstop at or under the detection bound makes detection dead code");
+    ("E050", Diagnostic.Error, "Verify concludes the routing deadlocks");
+    ("E051", Diagnostic.Error, "Verify found a reachable cycle with no Theorem 2-5 certificate");
+    ("W052", Diagnostic.Warning, "Verify cannot conclude either way within its budget");
+    ("I053", Diagnostic.Info, "Verify concludes the routing is deadlock-free");
+    ("I054", Diagnostic.Info, "Verify certificate detail for a covered cycle");
+    ("E060", Diagnostic.Error, "network admits no deadlock-free oblivious routing");
+    ("I061", Diagnostic.Info, "routing synthesized and certified (rank-increasing dependencies)");
+    ("W062", Diagnostic.Warning, "synthesized routing restricts itself to a sub-network");
+    ("E090", Diagnostic.Error, "search layer: engine reported an inconsistent deadlock cycle");
+    ("E091", Diagnostic.Error, "search layer: engine outcome contradicts the replay");
+    ("E101", Diagnostic.Error, "sanitizer: flit conservation violated");
+    ("E102", Diagnostic.Error, "sanitizer: buffer occupancy out of bounds");
+    ("E103", Diagnostic.Error, "sanitizer: channel hold inconsistent with message state");
+    ("E104", Diagnostic.Error, "sanitizer: wait-for bookkeeping inconsistent");
+    ("E105", Diagnostic.Error, "sanitizer: recovery invariant broken (retries or watchdog bound)");
+    ("E106", Diagnostic.Error, "sanitizer: wait-for edge inconsistent with message state");
+  ]
+
+let find_code c =
+  List.find_opt (fun (code, _, _) -> code = c) diagnostic_codes
+
 let lint ?max_cycles e =
   match e.r_algo with
   | Oblivious rt ->

@@ -34,3 +34,12 @@ val topology : entry -> Topology.t
 val lint : ?max_cycles:int -> entry -> Diagnostic.t list
 (** Run {!Lint.algorithm} or {!Lint.adaptive} with the entry's
     declarations. *)
+
+val diagnostic_codes : (string * Diagnostic.severity * string) list
+(** Every stable diagnostic code the library can emit, with its severity
+    and a one-line description, in code order.  The registry-completeness
+    test scans the sources for code literals and fails when a code is
+    emitted but missing here (or listed here but emitted nowhere), so this
+    table cannot drift silently. *)
+
+val find_code : string -> (string * Diagnostic.severity * string) option

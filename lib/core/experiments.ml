@@ -1024,6 +1024,244 @@ let exp_lint ?(quick = false) ppf =
       (List.length codes >= 8);
   ]
 
+(* ---- synthesis existence checker vs exhaustive search (EXP-SY1) ---- *)
+
+(* Pinned multiplicative-congruential generator so the random digraphs are
+   identical across runs, machines and domain counts (stdlib Random is
+   off-limits here: its algorithm is an implementation detail). *)
+let sy_rng seed =
+  let state = ref (((seed * 2654435761) + 1) land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+(* Unidirectional ring backbone (strong connectivity for free) plus
+   [chords] random extra channels: with no chords the network is the
+   paper's under-provisioned ring (impossible); chords progressively
+   unlock valley orders, so the sample exercises both verdicts. *)
+let sy_random_digraph ~seed ~n ~chords =
+  let rand = sy_rng seed in
+  let t = Topology.create () in
+  let nodes = Array.init n (fun i -> Topology.add_node t (Printf.sprintf "v%d" i)) in
+  Array.iteri (fun i u -> ignore (Topology.add_channel t u nodes.((i + 1) mod n))) nodes;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < chords && !attempts < chords * 8 do
+    incr attempts;
+    let i = rand n in
+    let j = rand n in
+    if i <> j && Topology.find_channel t nodes.(i) nodes.(j) = None then begin
+      ignore (Topology.add_channel t nodes.(i) nodes.(j));
+      incr added
+    end
+  done;
+  t
+
+let exp_synth ?(quick = false) ppf =
+  header ppf "EXP-SY1: routing-existence checker vs exhaustive search";
+  (* one work item per network; every item runs on the pool and returns
+     (report text, row), so the printed report and the claim rows keep
+     input order at any domain count *)
+  let figure_item (name, net) () =
+    let buf = Buffer.create 256 in
+    let bpf = Format.formatter_of_buffer buf in
+    let topo = net.Paper_nets.topo in
+    let result =
+      match Synth.synthesize ~name:(name ^ "-synth") topo with
+      | Error w ->
+        Format.fprintf bpf "%s: IMPOSSIBLE (%a) -- but the paper routes it@\n" name
+          (Synth.pp_witness topo) w;
+        None
+      | Ok (rt, plan) ->
+        let report = Verify.analyze ~quick:true rt in
+        let certified =
+          match report.Verify.conclusion with Verify.Deadlock_free _ -> true | _ -> false
+        in
+        let templates =
+          List.map
+            (fun (i : Paper_nets.intent) ->
+              Explorer.minimal_length_template rt i.Paper_nets.i_label i.Paper_nets.i_src
+                i.Paper_nets.i_dst)
+            net.Paper_nets.intents
+        in
+        let space =
+          let base = Explorer.default_space templates in
+          if quick then
+            { base with Explorer.buffers = [ 1 ]; priorities = Explorer.Follow_order }
+          else base
+        in
+        let v = Explorer.explore rt space in
+        let runs =
+          match v with
+          | Explorer.No_deadlock { runs } -> runs
+          | Explorer.Deadlock_found { runs; _ } -> runs
+        in
+        Format.fprintf bpf "%s: exists via %s; Verify %s; sweep %s in %d runs@\n" name
+          plan.Synth.p_strategy
+          (if certified then "Deadlock_free" else "NOT deadlock-free")
+          (if Explorer.is_deadlock_found v then "DEADLOCK" else "no deadlock")
+          runs;
+        Some (plan, certified, v, runs)
+    in
+    Format.pp_print_flush bpf ();
+    let measured, ok =
+      match result with
+      | None -> ("checker says impossible", false)
+      | Some (plan, certified, v, runs) ->
+        ( Printf.sprintf "exists via %s; certified %b; no deadlock in %d runs"
+            plan.Synth.p_strategy certified runs,
+          certified && not (Explorer.is_deadlock_found v) )
+    in
+    ( Buffer.contents buf,
+      [
+        row
+          (Printf.sprintf "SY1/%s" name)
+          "checker and exhaustive sweep agree: a deadlock-free routing exists and the \
+           synthesized one survives the adversary"
+          measured ok;
+      ] )
+  in
+  let ring_item n () =
+    let buf = Buffer.create 256 in
+    let bpf = Format.formatter_of_buffer buf in
+    let topo = (Builders.ring ~unidirectional:true n).Builders.topo in
+    let impossible_ok, witness_desc =
+      match Synth.check topo with
+      | Synth.Exists plan -> (false, "EXISTS via " ^ plan.Synth.p_strategy)
+      | Synth.Impossible w ->
+        Format.fprintf bpf "ring-uni-%d: impossible; %a@\n" n (Synth.pp_witness topo) w;
+        let checked = Synth.check_witness topo w in
+        let desc =
+          match w with
+          | Synth.Forced_corner_cycle { w_cycle; _ } ->
+            Printf.sprintf "forced corner cycle of %d channels, witness %s"
+              (List.length w_cycle)
+              (if checked then "checks" else "REJECTED")
+          | _ -> "unexpected witness shape"
+        in
+        (checked && (match w with Synth.Forced_corner_cycle _ -> true | _ -> false), desc)
+    in
+    let family = Synth.greedy_family topo in
+    let sweep_results =
+      List.map
+        (fun rt ->
+          let templates =
+            List.init n (fun s ->
+                Explorer.minimal_length_template rt (Printf.sprintf "m%d" s) s
+                  ((s + n - 1) mod n))
+          in
+          let v = Explorer.explore rt (Explorer.default_space templates) in
+          Format.fprintf bpf "  family member %s: %a@\n" (Routing.name rt)
+            (Explorer.pp_verdict topo) v;
+          Explorer.is_deadlock_found v)
+        family
+    in
+    Format.pp_print_flush bpf ();
+    let all_deadlock = family <> [] && List.for_all Fun.id sweep_results in
+    ( Buffer.contents buf,
+      [
+        row
+          (Printf.sprintf "SY1/ring-uni-%d" n)
+          "an under-provisioned unidirectional ring admits no deadlock-free routing, and \
+           every member of the bounded routing family deadlocks"
+          (Printf.sprintf "%s; %d-member family all deadlock: %b" witness_desc
+             (List.length family) all_deadlock)
+          (impossible_ok && all_deadlock);
+      ] )
+  in
+  let random_specs =
+    (* (seed, nodes, chords): chords 0 pins the impossible side, larger
+       counts let valley orders succeed; the split below is asserted so a
+       checker regression that collapses to one verdict fails the claim *)
+    let full =
+      [
+        (1, 4, 0); (2, 4, 2); (3, 4, 4); (4, 5, 0); (5, 5, 3); (6, 5, 6);
+        (7, 6, 2); (8, 6, 5); (9, 6, 8); (10, 5, 1);
+      ]
+    in
+    if quick then [ (1, 4, 0); (2, 4, 2); (5, 5, 3); (9, 6, 8) ] else full
+  in
+  let random_item (seed, n, chords) () =
+    let buf = Buffer.create 256 in
+    let bpf = Format.formatter_of_buffer buf in
+    let topo = sy_random_digraph ~seed ~n ~chords in
+    let label = Printf.sprintf "digraph(seed=%d,n=%d,chords=%d)" seed n chords in
+    let verdict_ok, verdict =
+      match Synth.synthesize ~name:label topo with
+      | Ok (rt, plan) ->
+        let report = Verify.analyze ~quick:true rt in
+        let certified =
+          match report.Verify.conclusion with Verify.Deadlock_free _ -> true | _ -> false
+        in
+        let clean =
+          List.for_all
+            (fun d -> not (Diagnostic.is_error d))
+            (Synth.diagnostics ~name:label topo (Ok (rt, plan)))
+        in
+        Format.fprintf bpf "%s: exists via %s; certified %b@\n" label plan.Synth.p_strategy
+          certified;
+        (certified && clean, `Exists)
+      | Error w ->
+        let checked = Synth.check_witness topo w in
+        (* dynamic counterpart, cheap and sound: with no acyclic connector,
+           no valid greedy member may have an acyclic CDG *)
+        let family = Synth.greedy_family topo in
+        let none_acyclic =
+          List.for_all (fun rt -> not (Cdg.is_acyclic (Cdg.build rt))) family
+        in
+        Format.fprintf bpf "%s: impossible (%a); witness checks %b; %d family members, \
+                            none with acyclic CDG: %b@\n"
+          label (Synth.pp_witness topo) w checked (List.length family) none_acyclic;
+        (checked && none_acyclic, `Impossible)
+    in
+    Format.pp_print_flush bpf ();
+    (Buffer.contents buf, [ (label, verdict_ok, verdict) ])
+  in
+  let figure_nets =
+    [
+      ("figure1", Paper_nets.figure1 ());
+      ("figure2", Paper_nets.figure2 ());
+      ("figure3a", Paper_nets.figure3 `A);
+      ("figure3f", Paper_nets.figure3 `F);
+      ("family-2", Paper_nets.family 2);
+    ]
+    @ (if quick then [] else [ ("figure3b", Paper_nets.figure3 `B); ("figure3c", Paper_nets.figure3 `C); ("figure3d", Paper_nets.figure3 `D); ("figure3e", Paper_nets.figure3 `E) ])
+  in
+  let ring_sizes = if quick then [ 3; 4 ] else [ 3; 4; 5 ] in
+  let fig_and_ring_items =
+    List.map figure_item figure_nets @ List.map ring_item ring_sizes
+  in
+  (* one pool fan-out over every network; Wr_pool.map keeps input order *)
+  let fig_ring_out = Wr_pool.map (fun item -> item ()) fig_and_ring_items in
+  let random_out = Wr_pool.map (fun spec -> random_item spec ()) random_specs in
+  List.iter (fun (text, _) -> Format.pp_print_string ppf text) fig_ring_out;
+  List.iter (fun (text, _) -> Format.pp_print_string ppf text) random_out;
+  let fig_ring_rows = List.concat_map snd fig_ring_out in
+  let random_results = List.concat_map snd random_out in
+  let n_exists =
+    List.length (List.filter (fun (_, _, v) -> v = `Exists) random_results)
+  in
+  let n_impossible =
+    List.length (List.filter (fun (_, _, v) -> v = `Impossible) random_results)
+  in
+  let bad = List.filter (fun (_, ok, _) -> not ok) random_results in
+  Format.fprintf ppf "random digraphs: %d exist, %d impossible, %d disagreements@\n"
+    n_exists n_impossible (List.length bad);
+  let random_rows =
+    [
+      row "SY1/random-agreement"
+        "on pinned random digraphs the checker verdict always agrees with the \
+         certificate (exists) or the cyclic-CDG family sweep (impossible)"
+        (Printf.sprintf "%d/%d digraphs agree%s" (List.length random_results - List.length bad)
+           (List.length random_results)
+           (match bad with [] -> "" | (l, _, _) :: _ -> "; first disagreement " ^ l))
+        (bad = []);
+      row "SY1/random-coverage" "the pinned sample exercises both verdicts"
+        (Printf.sprintf "%d exists, %d impossible" n_exists n_impossible)
+        (n_exists > 0 && n_impossible > 0);
+    ]
+  in
+  fig_ring_rows @ random_rows
+
 let all ?quick ppf =
   List.concat
     [
@@ -1043,6 +1281,7 @@ let all ?quick ppf =
       exp_fault ?quick ppf;
       exp_detect ?quick ppf;
       exp_lint ?quick ppf;
+      exp_synth ?quick ppf;
     ]
 
 let summary_table rows =

@@ -103,6 +103,15 @@ val exp_lint : ?quick:bool -> Format.formatter -> row list
     is flagged exactly once by its expected code (with at least 8 distinct
     codes exercised). *)
 
+val exp_synth : ?quick:bool -> Format.formatter -> row list
+(** Synthesis extension (EXP-SY1): the routing-existence checker's verdict
+    against exhaustive dynamic search.  On every paper figure network a
+    routing is synthesized, certified by [Verify] and survives the
+    adversarial schedule sweep; on under-provisioned unidirectional rings
+    the impossibility witness machine-checks and every member of the
+    bounded greedy routing family deadlocks; on pinned random digraphs the
+    two verdicts always agree and both occur. *)
+
 val all : ?quick:bool -> Format.formatter -> row list
 (** Run everything in order. *)
 

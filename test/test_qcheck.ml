@@ -500,6 +500,36 @@ let prop_random_net_acyclic_implies_safe =
       | Engine.Cutoff _ | Engine.Recovered _ -> false
       | Engine.Deadlock _ -> not (Cdg.is_acyclic cdg))
 
+(* ---- synthesis existence checker on the random digraphs ---- *)
+
+let prop_synth_differential =
+  (* Both sides of the existence verdict, backed the hard way.  "Exists"
+     must ship a routing that certifies (Verify: Deadlock_free, zero
+     E-severity diagnostics from either pipeline).  "Impossible" must ship
+     a witness that machine-checks, and the bounded greedy routing family
+     may contain no acyclic-CDG member -- such a member would itself be a
+     deadlock-free routing, contradicting the verdict. *)
+  QCheck.Test.make ~name:"synthesis verdict matches certificate / family sweep"
+    ~count:(count 25) random_net_gen
+    (fun params ->
+      let topo, _ = build_random_net params in
+      match Synth.synthesize topo with
+      | Ok (rt, plan) ->
+        let report = Verify.analyze ~quick:true rt in
+        let certified =
+          match report.Verify.conclusion with
+          | Verify.Deadlock_free _ -> true
+          | _ -> false
+        in
+        certified
+        && Diagnostic.errors (Verify.diagnostics report) = []
+        && Diagnostic.errors (Synth.diagnostics topo (Ok (rt, plan))) = []
+      | Error w ->
+        Synth.check_witness topo w
+        && List.for_all
+             (fun rt -> not (Cdg.is_acyclic (Cdg.build rt)))
+             (Synth.greedy_family topo))
+
 (* ---- three-sharer ground truth vs Theorem-5 checker ---- *)
 
 let three_sharer_gen =
@@ -603,4 +633,5 @@ let () =
         [ prop_random_net_routing_valid; prop_random_net_cdg_sound;
           prop_random_net_acyclic_implies_safe ];
       suite "theorem5" [ prop_theorem5_matches_search ];
+      suite "synthesis" [ prop_synth_differential ];
     ]
