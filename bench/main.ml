@@ -15,7 +15,9 @@
      --quick               smoke subset with a small measurement quota (CI)
      --json                also write BENCH_<date>.json with ns/run per case
                            plus per-case work counters (one extra observed
-                           execution of each case under a metrics sink)
+                           execution of each case under a metrics sink) and
+                           per-case GC allocation deltas (minor/major words
+                           over one plain execution)
      --campaign-json FILE  splice a wormhole-campaign/1 JSON (from
                            run_experiments --json) into the bench JSON;
                            repeatable *)
@@ -161,6 +163,7 @@ let smoke =
     "sim/engine-hotpath";
     "sim/detect-overhead";
     "sim/adaptive-hotpath";
+    "sim/mesh8x8-uniform-300c";
     "sim/torus5x5-tornado-deadlock";
     "sweep/figure2-seq";
     "sweep/figure2-parallel";
@@ -184,6 +187,19 @@ let counters_of c =
       Obs.uninstall ())
     c.c_run;
   List.filter (fun (_, v) -> v <> 0) (Obs.Metrics.snapshot reg)
+
+(* One plain execution of a case bracketed by GC counters: the per-case
+   allocation pressure (words, not bytes) that --json reports alongside the
+   timings.  A single execution is exact for the simulation cases -- the
+   kernel's steady cycle is allocation-free, so the delta is the setup cost
+   and does not jitter the way timings do. *)
+let alloc_of c =
+  (* Gc.counters reads the precise allocation totals; quick_stat's copies
+     only refresh at collection boundaries and under-report short cases *)
+  let minor0, _, major0 = Gc.counters () in
+  c.c_run ();
+  let minor1, _, major1 = Gc.counters () in
+  (minor1 -. minor0, major1 -. major0)
 
 let benchmark ~quick =
   let chosen = chosen_cases ~quick in
@@ -210,7 +226,7 @@ let today () =
   let tm = Unix.localtime (Unix.time ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_json ~quick ~campaigns ~counters rows =
+let write_json ~quick ~campaigns ~counters ~allocs rows =
   let date = today () in
   let path = Printf.sprintf "BENCH_%s.json" date in
   let buf = Buffer.create 2048 in
@@ -231,6 +247,16 @@ let write_json ~quick ~campaigns ~counters rows =
            (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
            (if i = n - 1 then "" else ",")))
     rows;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"alloc\": {\n";
+  let na = List.length allocs in
+  List.iteri
+    (fun i (name, (minor, major)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: {\"minor_words\": %.0f, \"major_words\": %.0f}%s\n" name
+           minor major
+           (if i = na - 1 then "" else ",")))
+    allocs;
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"counters\": {\n";
   let ncnt = List.length counters in
@@ -312,10 +338,14 @@ let () =
   List.iter (fun (name, est) -> Table.add_row table [ name; human est ]) rows;
   Table.print table;
   if !json then begin
-    (* one extra observed execution per case, for the work counters *)
-    let counters =
-      List.map (fun c -> (c.c_name, counters_of c)) (chosen_cases ~quick:!quick)
+    (* one extra observed execution per case for the work counters, and one
+       plain execution for the allocation deltas (the metrics sink itself
+       allocates, so the two cannot share a run) *)
+    let cases = chosen_cases ~quick:!quick in
+    let counters = List.map (fun c -> (c.c_name, counters_of c)) cases in
+    let allocs = List.map (fun c -> (c.c_name, alloc_of c)) cases in
+    let path =
+      write_json ~quick:!quick ~campaigns:(List.rev !campaigns) ~counters ~allocs rows
     in
-    let path = write_json ~quick:!quick ~campaigns:(List.rev !campaigns) ~counters rows in
     Printf.printf "\nbench JSON written to %s\n" path
   end

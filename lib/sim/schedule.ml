@@ -13,13 +13,37 @@ let message ?(length = 1) ?(at = 0) ?(holds = []) label src dst =
   { ms_label = label; ms_src = src; ms_dst = dst; ms_length = length; ms_inject_at = at;
     ms_holds = holds }
 
-let validate rt sched =
-  let labels = List.map (fun m -> m.ms_label) sched in
-  if List.length (List.sort_uniq compare labels) <> List.length labels then
-    Error "duplicate message labels"
+(* label uniqueness via a hash pass (not a sort: comparing every label
+   against every other through polymorphic compare shows up in the
+   per-run validation cost of the bench hot paths) *)
+let has_duplicate_label sched =
+  let seen = Hashtbl.create 64 in
+  List.exists
+    (fun m ->
+      Hashtbl.mem seen m.ms_label
+      ||
+      (Hashtbl.add seen m.ms_label ();
+       false))
+    sched
+
+(* each channel may appear at most once on a path; paths are node-degree
+   short, so the quadratic scan beats building a sorted copy *)
+let has_duplicate_channel (a : int array) =
+  let k = Array.length a in
+  let dup = ref false in
+  for x = 0 to k - 1 do
+    for y = x + 1 to k - 1 do
+      if a.(x) = a.(y) then dup := true
+    done
+  done;
+  !dup
+
+let validate_paths rt sched =
+  if has_duplicate_label sched then Error "duplicate message labels"
   else begin
-    let rec check = function
-      | [] -> Ok ()
+    let paths = Array.make (List.length sched) [||] in
+    let rec check i = function
+      | [] -> Ok paths
       | m :: rest ->
         if m.ms_length < 1 then Error (m.ms_label ^ ": length < 1")
         else if m.ms_inject_at < 0 then Error (m.ms_label ^ ": negative injection time")
@@ -32,12 +56,19 @@ let validate rt sched =
           | Ok p ->
             (* the engine's occupancy model needs each channel to appear at
                most once on a message's path *)
-            if List.length (List.sort_uniq compare p) <> List.length p then
+            let row = Array.of_list p in
+            if has_duplicate_channel row then
               Error (m.ms_label ^ ": path visits a channel twice")
-            else check rest
+            else begin
+              paths.(i) <- row;
+              check (i + 1) rest
+            end
     in
-    check sched
+    check 0 sched
   end
+
+let validate rt sched =
+  match validate_paths rt sched with Ok _ -> Ok () | Error e -> Error e
 
 let pp topo ppf sched =
   List.iter

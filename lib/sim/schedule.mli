@@ -25,4 +25,9 @@ val message : ?length:int -> ?at:int -> ?holds:(Topology.channel * int) list ->
 val validate : Routing.t -> t -> (unit, string) result
 (** Labels unique; lengths and times sane; every message routable. *)
 
+val validate_paths : Routing.t -> t -> (Topology.channel array array, string) result
+(** As {!validate}, but on success returns each message's computed route (in
+    schedule order), so a caller that needs the paths anyway -- the
+    switching kernel -- walks the routing exactly once. *)
+
 val pp : Topology.t -> Format.formatter -> t -> unit

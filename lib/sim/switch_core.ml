@@ -90,60 +90,31 @@ let is_deadlock = function
   | Deadlock _ -> true
   | All_delivered _ | Cutoff _ | Recovered _ -> false
 
-(* Per-message mutable state, shared by both modes.  [path] is the fixed
-   route in oblivious mode and the carved route so far in adaptive mode;
-   [plen] is the number of valid entries (always the full array length when
-   oblivious).  [head] is the path index of the channel whose queue contains
-   the header flit; -1 before injection, [plen] once the header has been
-   consumed at the destination ([arrived] mirrors that final state).  [path],
-   [occ] and [holds] are replaced wholesale when a recovery reroute changes
-   an oblivious message's path; an adaptive reroute instead pins [forced]. *)
-type msg_state = {
-  spec : Schedule.message_spec;
-  idx : int;  (* schedule position, used for deterministic tie-breaks *)
-  mutable path : Topology.channel array;
-  mutable occ : int array;  (* flits currently buffered at each path position *)
-  mutable holds : int array;  (* adversarial hold per path position (oblivious) *)
-  mutable plen : int;  (* valid prefix of [path]/[occ] *)
-  mutable head : int;
-  mutable arrived : bool;  (* header consumed at the destination *)
-  mutable injected : int;
-  mutable consumed : int;
-  mutable hold : int;
-  mutable hold_fresh : bool;  (* hold was (re)set this cycle; skip one decrement *)
-  mutable injected_at : int option;
-  mutable delivered_at : int option;
-  mutable released_up_to : int;  (* path positions < this have been released *)
-  mutable attempt_at : int;  (* earliest cycle the source may (re)start requesting *)
-  mutable retries : int;  (* aborts so far *)
-  mutable gone : fate option;  (* [Some Dropped | Some Gave_up] once abandoned *)
-  mutable last_progress : int;  (* watchdog reference cycle *)
-  mutable progressed : bool;  (* this message advanced during the current cycle *)
-  mutable waiting_for : int;  (* oblivious: channel being waited on; -1 if none *)
-  mutable wait_since : int;
-      (* oblivious: first cycle of the current wait (valid when waiting_for
-         >= 0); adaptive: sticky first-wait cycle, [max_int] when not
-         waiting *)
-  mutable awarded_now : int;  (* adaptive: channel awarded this cycle; -1 if none *)
-  mutable wait_edge : int;
-      (* adaptive: the channel whose wait-for edge is currently advertised
-         on the event stream (the header's first option when it last won
-         nothing); -1 when no edge is outstanding.  Maintained even with
-         the bus off so the sanitizer can check E106. *)
-  mutable forced : Topology.channel array;
-      (* adaptive: reroute-pinned remaining route; [||] when free *)
-}
+(* -- struct-of-arrays message state --
 
-(* A schedule's holds are an assoc list keyed by channel; resolving that per
-   acquisition attempt was O(path) in the innermost loop.  Paths visit each
-   channel at most once (Schedule.validate), so the holds are precomputed
-   per path position here and rebuilt whenever a reroute replaces the path. *)
-let holds_for_path (spec : Schedule.message_spec) path =
-  match spec.Schedule.ms_holds with
-  | [] -> Array.make (Array.length path) 0
-  | hs ->
-    Array.map (fun c -> match List.assoc_opt c hs with Some t -> t | None -> 0) path
+   The kernel keeps no per-message records: every field lives in a flat
+   parallel array indexed by schedule position, so the steady cycle is
+   index loops over unboxed ints with zero allocation.  Sentinel
+   encodings: [-1] for "none" in channel/cycle-valued fields
+   ([head_] -1 = not injected, [injected_at_]/[delivered_at_] -1 = never,
+   [waiting_]/[awarded_]/[wait_edge_] -1 = no channel), [max_int] for the
+   adaptive "not waiting" wait_since, and fates as small ints below.
+   Booleans sit in {!Bitset}s ([arrived_], [hold_fresh_]) or a byte row
+   ([progressed_], written for every live message every cycle).  Jagged
+   rows ([path_], [occ_], [holds_], [forced_]) are plain int arrays
+   replaced wholesale on reroute and grown by doubling when an adaptive
+   header carves. *)
 
+(* fate encoding for [fate_] *)
+let f_live = 0
+
+let f_dropped = 1
+
+let f_gave_up = 2
+
+(* physically-unique sentinel row marking a not-yet-memoized adaptive
+   option set; compared with [!=] *)
+let unset_row : int array = [| -1 |]
 (* Process-wide count of simulation runs started, for throughput reporting
    (runs/sec in the campaign timing table).  Atomic: runs happen on every
    domain of a parallel sweep. *)
@@ -164,7 +135,6 @@ let outcome_string = function
   | Deadlock _ -> "deadlock"
   | Cutoff _ -> "cutoff"
   | Recovered _ -> "recovered"
-
 let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
   let oblivious = match policy with Oblivious _ -> true | Adaptive _ -> false in
   let caller = if oblivious then "Engine.run: " else "Adaptive_engine.run: " in
@@ -193,29 +163,40 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
     | Some rt' when Routing.topology rt' != topo ->
       inv "recovery reroute built on a different topology"
     | Some _ | None -> ()));
-  (match policy with
-  | Oblivious rt -> (
-    (match Schedule.validate rt sched with Ok () -> () | Error e -> inv e);
-    match config.switching with
-    | Store_and_forward ->
+  let ob_paths =
+    match policy with
+    | Oblivious rt ->
+      (* one walk of the routing serves both validation and the kernel's
+         route rows ({!Schedule.validate_paths}) *)
+      let paths =
+        match Schedule.validate_paths rt sched with Ok p -> p | Error e -> inv e
+      in
+      (match config.switching with
+      | Store_and_forward ->
+        List.iter
+          (fun (m : Schedule.message_spec) ->
+            if m.ms_length > config.buffer_capacity then
+              inv "store-and-forward needs buffer_capacity >= message length")
+          sched
+      | Wormhole -> ());
+      paths
+    | Adaptive _ ->
+      (* no static routability check here: an adaptive function's coverage is
+         {!Adaptive.validate}'s concern, and [config.switching] is ignored
+         (adaptive runs always switch wormhole) *)
+      let seen = Hashtbl.create 64 in
       List.iter
         (fun (m : Schedule.message_spec) ->
-          if m.ms_length > config.buffer_capacity then
-            inv "store-and-forward needs buffer_capacity >= message length")
-        sched
-    | Wormhole -> ())
-  | Adaptive _ ->
-    (* no static routability check here: an adaptive function's coverage is
-       {!Adaptive.validate}'s concern, and [config.switching] is ignored
-       (adaptive runs always switch wormhole) *)
-    let labels = List.map (fun (m : Schedule.message_spec) -> m.ms_label) sched in
-    if List.length (List.sort_uniq compare labels) <> List.length labels then
-      inv "duplicate message labels";
-    List.iter
-      (fun (m : Schedule.message_spec) ->
-        if m.ms_length < 1 then inv "length < 1";
-        if m.ms_src = m.ms_dst then inv "source equals destination")
-      sched);
+          if Hashtbl.mem seen m.ms_label then inv "duplicate message labels"
+          else Hashtbl.add seen m.ms_label ())
+        sched;
+      List.iter
+        (fun (m : Schedule.message_spec) ->
+          if m.ms_length < 1 then inv "length < 1";
+          if m.ms_src = m.ms_dst then inv "source equals destination")
+        sched;
+      [||]
+  in
   let nchan = Topology.num_channels topo in
   let faults = Fault.compile ~nchan config.faults in
   let cap = config.buffer_capacity in
@@ -262,179 +243,396 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
                 label = Some label; duration = 0 }))
       (Fault.events config.faults)
   end;
-  let msgs =
-    List.mapi
-      (fun idx (spec : Schedule.message_spec) ->
-        let path =
-          match policy with
-          | Oblivious rt -> Array.of_list (Routing.path_exn rt spec.ms_src spec.ms_dst)
-          | Adaptive _ -> [||]
-        in
-        {
-          spec;
-          idx;
-          path;
-          occ = Array.make (Array.length path) 0;
-          holds = holds_for_path spec path;
-          plen = Array.length path;
-          head = -1;
-          arrived = false;
-          injected = 0;
-          consumed = 0;
-          hold = 0;
-          hold_fresh = false;
-          injected_at = None;
-          delivered_at = None;
-          released_up_to = 0;
-          attempt_at = spec.ms_inject_at;
-          retries = 0;
-          gone = None;
-          last_progress = 0;
-          progressed = false;
-          waiting_for = -1;
-          wait_since = (if oblivious then 0 else max_int);
-          awarded_now = -1;
-          wait_edge = -1;
-          forced = [||];
-        })
-      sched
+  let have_faults = not (Fault.is_empty config.faults) in
+  (* ---- flat message state (see the struct-of-arrays note above) ---- *)
+  let specs = Array.of_list sched in
+  let nmsg = Array.length specs in
+  let label j = specs.(j).Schedule.ms_label in
+  let len_ = Array.init nmsg (fun j -> specs.(j).Schedule.ms_length) in
+  let dst_ = Array.init nmsg (fun j -> specs.(j).Schedule.ms_dst) in
+  (* A schedule's holds are an assoc list keyed by channel; they are
+     resolved to a per-path-position array through a channel-indexed
+     scratch row (built once per run, cleared after each use), replacing
+     the old per-position [List.assoc_opt] scan. *)
+  let hold_scratch = Array.make (if oblivious then nchan else 0) 0 in
+  let holds_for_path (spec : Schedule.message_spec) path =
+    match spec.Schedule.ms_holds with
+    | [] -> Array.make (Array.length path) 0
+    | hs ->
+      (* write later bindings first so the earliest binding for a channel
+         wins, exactly as [List.assoc_opt] resolved duplicates *)
+      List.iter (fun (c, h) -> hold_scratch.(c) <- h) (List.rev hs);
+      let r = Array.map (fun c -> hold_scratch.(c)) path in
+      List.iter (fun (c, _) -> hold_scratch.(c) <- 0) hs;
+      r
   in
-  let marr = Array.of_list msgs in
-  let nmsg = Array.length marr in
+  let path_ = if oblivious then ob_paths else Array.make nmsg [||] in
+  let occ_ = Array.init nmsg (fun j -> Array.make (Array.length path_.(j)) 0) in
+  let holds_ =
+    Array.init nmsg (fun j ->
+        if oblivious then holds_for_path specs.(j) path_.(j) else [||])
+  in
+  let plen_ = Array.init nmsg (fun j -> Array.length path_.(j)) in
+  let head_ = Array.make nmsg (-1) in
+  let arrived_ = Bitset.create (max nmsg 1) in
+  let injected_ = Array.make nmsg 0 in
+  let consumed_ = Array.make nmsg 0 in
+  let hold_ = Array.make nmsg 0 in
+  let hold_fresh_ = Bitset.create (max nmsg 1) in
+  let injected_at_ = Array.make nmsg (-1) in
+  let delivered_at_ = Array.make nmsg (-1) in
+  let released_ = Array.make nmsg 0 in
+  let attempt_ = Array.init nmsg (fun j -> specs.(j).Schedule.ms_inject_at) in
+  let retries_ = Array.make nmsg 0 in
+  let fate_ = Array.make nmsg f_live in
+  let last_progress_ = Array.make nmsg 0 in
+  let progressed_ = Bytes.make (max nmsg 1) '\000' in
+  let waiting_ = Array.make nmsg (-1) in
+  let wait_since_ = Array.make nmsg (if oblivious then 0 else max_int) in
+  let awarded_ = Array.make nmsg (-1) in
+  let wait_edge_ = Array.make nmsg (-1) in
+  let forced_ = Array.make nmsg [||] in
   let owner = Array.make nchan (-1) in
-  (* arbitration rank per schedule position, precomputed (the priority
-     variant used to hash the label on every award comparison) *)
+  (* arbitration rank per schedule position.  The priority variant used to
+     build a per-run Hashtbl and hash every label; a sorted index over the
+     order list with a leftmost binary search gives the same
+     first-occurrence rank without it. *)
   let rank_of =
     match config.arbitration with
-    | Fifo -> Array.init nmsg (fun i -> i)
+    | Fifo -> Array.init nmsg (fun j -> j)
     | Priority order ->
-      let pos = Hashtbl.create 8 in
-      List.iteri (fun i l -> if not (Hashtbl.mem pos l) then Hashtbl.add pos l i) order;
-      let worst = List.length order in
-      Array.map
-        (fun m ->
-          match Hashtbl.find_opt pos m.spec.Schedule.ms_label with
-          | Some i -> (i * nmsg) + m.idx
-          | None -> (worst * nmsg) + m.idx)
-        marr
+      let ord = Array.of_list order in
+      let n = Array.length ord in
+      let sorted = Array.init n (fun i -> i) in
+      Array.sort
+        (fun a b -> match compare ord.(a) ord.(b) with 0 -> compare a b | c -> c)
+        sorted;
+      let find l =
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if ord.(sorted.(mid)) < l then lo := mid + 1 else hi := mid
+        done;
+        if !lo < n && ord.(sorted.(!lo)) = l then sorted.(!lo) else n
+      in
+      Array.init nmsg (fun j -> (find (label j) * nmsg) + j)
   in
-  (* per-cycle scratch, reused across cycles.  Oblivious: [req_stamp.(c) = t]
-     marks channel [c] as requested this cycle, [req_list] keeps the
-     channels in first-request order.  Adaptive: header option lists and the
-     claimant order.  (No per-cycle Hashtbl or list builds.) *)
+  (* adaptive option sets: destinations are interned to slots, and the raw
+     option row of a (channel, destination slot) pair is memoized as an int
+     array on first touch -- the steady cycle then only filters it in
+     place (down / owned / already-carved checks) without allocating.
+     Inject-state options are precomputed per message. *)
+  let ad_opt = match policy with Adaptive ad -> Some ad | Oblivious _ -> None in
+  let dslot_ = Array.make nmsg 0 in
+  let dst_of_slot = Array.make (max nmsg 1) 0 in
+  let nd = ref 0 in
+  (match ad_opt with
+  | None -> ()
+  | Some _ ->
+    let slot_of = Array.make (Topology.num_nodes topo) (-1) in
+    Array.iteri
+      (fun j d ->
+        if slot_of.(d) < 0 then begin
+          slot_of.(d) <- !nd;
+          dst_of_slot.(!nd) <- d;
+          incr nd
+        end;
+        dslot_.(j) <- slot_of.(d))
+      dst_);
+  let nd = max 1 !nd in
+  let opt_rows = Array.make (if oblivious then 0 else nchan * nd) unset_row in
+  let inject_opts =
+    match ad_opt with
+    | None -> [||]
+    | Some ad ->
+      Array.init nmsg (fun j ->
+          Array.of_list
+            (Adaptive.options ad (Routing.Inject specs.(j).Schedule.ms_src) dst_.(j)))
+  in
+  let chan_dst_ =
+    if oblivious then [||] else Array.init nchan (fun c -> Topology.dst topo c)
+  in
+  (* per-message carved-channel membership, one byte per channel: [carve]
+     sets, [drain] clears, and the claim filter's "not already on my carved
+     path" test becomes a single load instead of an O(carved length) rescan *)
+  let carved_mark =
+    if oblivious then [||] else Array.init nmsg (fun _ -> Bytes.make (max nchan 1) '\000')
+  in
+  let row_get c slot =
+    let i = (c * nd) + slot in
+    let r = opt_rows.(i) in
+    if r != unset_row then r
+    else begin
+      let ad = match ad_opt with Some ad -> ad | None -> assert false in
+      let row = Array.of_list (Adaptive.options ad (Routing.From c) dst_of_slot.(slot)) in
+      opt_rows.(i) <- row;
+      row
+    end
+  in
+  (* per-cycle scratch, reused across cycles -- nothing here is allocated
+     inside the steady loop.  Oblivious: [req_stamp.(c) = t] marks channel
+     [c] as requested this cycle, [req_list] keeps the channels in
+     first-request order, and [cand_*] track the per-channel best waiter
+     (min over the unique (wait_since, rank) key) during registration, so
+     the award pass is O(requested channels) instead of the old
+     O(requests x messages) rescan.  Adaptive: the option-source tag and
+     first usable option per message, plus the claimant order. *)
   let req_stamp = Array.make (if oblivious then nchan else 0) (-1) in
   let req_list = Array.make (if oblivious then nchan else 0) 0 in
   let req_count = ref 0 in
-  let opts_now = Array.make (if oblivious then 0 else nmsg) [] in
+  let cand_j = Array.make (if oblivious then nchan else 0) (-1) in
+  let cand_since = Array.make (if oblivious then nchan else 0) 0 in
+  let cand_rank = Array.make (if oblivious then nchan else 0) 0 in
+  let opt_tag_ = Array.make (if oblivious then 0 else nmsg) (-1) in
+  let first_opt_ = Array.make (if oblivious then 0 else nmsg) (-1) in
+  let opt_row_ = Array.make (if oblivious then 0 else nmsg) unset_row in
   let claim_order = Array.make (if oblivious then 0 else nmsg) 0 in
+  let claim_count = ref 0 in
+  (* pre-allocated cursors for the inner scans below: OCaml refs are heap
+     blocks, so hot helpers share these per-run cells instead of minting
+     fresh ones every call *)
+  let scan_found = ref (-1) in
+  let scan_flag = ref false in
+  let ins_b = ref 0 in
+  let rel_i = ref 0 in
+  (* live-message index list in schedule order; delivered and abandoned
+     messages are compacted out at end of cycle so steady-state loops only
+     touch in-flight work *)
+  let live = Array.init nmsg (fun j -> j) in
+  let nlive = ref nmsg in
+  let last_finished = ref 0 in
+  (* With no recovery configured the attempt windows never move, and the
+     workload generators emit messages in injection-time order: the
+     pre-window messages are then exactly a suffix of the (index-sorted)
+     live list, so each cycle's hot loops can stop at a cutoff instead of
+     re-testing every sleeping source.  Recovery (attempt windows move on
+     abort) or a hand-written out-of-order schedule falls back to the
+     per-message window test over the whole live list. *)
+  let static_windows =
+    (match config.recovery with None -> true | Some _ -> false)
+    && (let ok = ref true in
+        for j = 1 to nmsg - 1 do
+          if attempt_.(j) < attempt_.(j - 1) then ok := false
+        done;
+        !ok)
+  in
+  let awake_n = ref 0 in
+  let bs_lo = ref 0 and bs_hi = ref 0 in
   let moved = ref false in
   let finished = ref 0 in
   (* any fault fired or recovery action taken: the run reports [Recovered] *)
   let perturbed = ref false in
+  let cyc_opt v = if v < 0 then None else Some v in
   let results () =
-    Array.to_list
-      (Array.map
-         (fun m ->
-           { r_label = m.spec.Schedule.ms_label; r_injected_at = m.injected_at;
-             r_delivered_at = m.delivered_at })
-         marr)
+    List.init nmsg (fun j ->
+        { r_label = label j; r_injected_at = cyc_opt injected_at_.(j);
+          r_delivered_at = cyc_opt delivered_at_.(j) })
   in
   let stats () =
-    Array.to_list
-      (Array.map
-         (fun m ->
-           {
-             t_label = m.spec.Schedule.ms_label;
-             t_retries = m.retries;
-             t_fate = (match m.gone with Some f -> f | None -> Delivered);
-           })
-         marr)
+    List.init nmsg (fun j ->
+        {
+          t_label = label j;
+          t_retries = retries_.(j);
+          t_fate =
+            (if fate_.(j) = f_dropped then Dropped
+             else if fate_.(j) = f_gave_up then Gave_up
+             else Delivered);
+        })
   in
-  let active m = m.delivered_at = None && m.gone = None in
+  let active j = delivered_at_.(j) < 0 && fate_.(j) = f_live in
+  (* [chan_down] stays for the cold paths (probe, witness, sanitizer); the
+     per-cycle loops below inline the [have_faults &&] short-circuit so a
+     fault-free run pays one register test instead of a call per check *)
+  let chan_down c t = have_faults && Fault.down faults c t in
+  let wormhole = config.switching = Wormhole in
   (* append channel [c] to an adaptive message's carved path (amortized
      doubling; [occ] grows in lockstep) *)
-  let carve m c =
-    let n = Array.length m.path in
-    if m.plen = n then begin
+  let carve j c =
+    let path = path_.(j) in
+    let n = Array.length path in
+    if plen_.(j) = n then begin
       let n' = max 4 (2 * n) in
       let path' = Array.make n' 0 and occ' = Array.make n' 0 in
-      Array.blit m.path 0 path' 0 n;
-      Array.blit m.occ 0 occ' 0 n;
-      m.path <- path';
-      m.occ <- occ'
+      Array.blit path 0 path' 0 n;
+      Array.blit occ_.(j) 0 occ' 0 n;
+      path_.(j) <- path';
+      occ_.(j) <- occ'
     end;
-    m.path.(m.plen) <- c;
-    m.occ.(m.plen) <- 0;
-    m.plen <- m.plen + 1
+    path_.(j).(plen_.(j)) <- c;
+    occ_.(j).(plen_.(j)) <- 0;
+    plen_.(j) <- plen_.(j) + 1;
+    Bytes.unsafe_set carved_mark.(j) c '\001'
   in
-  let assembled m =
-    (* store-and-forward: the whole packet must sit in the header's queue *)
-    match config.switching with
-    | Wormhole -> true
-    | Store_and_forward -> m.head >= 0 && m.occ.(m.head) = m.spec.Schedule.ms_length
-  in
-  (* oblivious: the fixed next channel, -1 for "wants nothing" (hot-path
-     variant with no option allocation) *)
-  let wanted_chan m =
-    if not (active m) then -1
-    else if m.head = -1 then m.path.(0)
-    else if m.head < m.plen - 1 && m.hold = 0 && assembled m then m.path.(m.head + 1)
-    else -1
-  in
-  let wanted m =
-    let c = wanted_chan m in
-    if c < 0 then None else Some c
-  in
-  let set_hold m pos =
-    let h = m.holds.(pos) in
-    m.hold <- h;
-    m.hold_fresh <- h > 0
-  in
-  (* adaptive: current option list of a message's header, [] when it cannot
-     move.  Channels that are down (failed or stalled) are not offered:
-     adaptive routing steers around faults by construction.  A reroute pins
-     [forced], restricting the options to exactly its next channel. *)
-  let current_options m t =
-    if (not (active m)) || m.arrived then []
+  (* oblivious: the fixed next channel, -1 for "wants nothing".  The
+     store-and-forward whole-packet check ([assembled] of old) is folded in
+     behind the hoisted [wormhole] test. *)
+  let wanted_chan j =
+    if not (active j) then -1
     else begin
-      let offer opts = List.filter (fun c -> not (Fault.down faults c t)) opts in
-      let forced_next () =
-        (* positions [0 .. plen-1] of a forced route were already carved, so
-           the next forced channel sits at index [plen] (= head + 1) *)
-        if m.plen < Array.length m.forced then offer [ m.forced.(m.plen) ] else []
-      in
-      if m.head = -1 then begin
-        if m.injected = 0 && t >= m.attempt_at then
-          if Array.length m.forced > 0 then forced_next ()
-          else
-            (match policy with
-            | Adaptive ad ->
-              offer (Adaptive.options ad (Routing.Inject m.spec.Schedule.ms_src)
-                       m.spec.Schedule.ms_dst)
-            | Oblivious _ -> [])
-        else []
+      let h = head_.(j) in
+      if h = -1 then path_.(j).(0)
+      else if
+        h < plen_.(j) - 1 && hold_.(j) = 0 && (wormhole || occ_.(j).(h) = len_.(j))
+      then path_.(j).(h + 1)
+      else -1
+    end
+  in
+  let set_hold j pos =
+    let h = holds_.(j).(pos) in
+    hold_.(j) <- h;
+    if h > 0 then Bitset.unsafe_add hold_fresh_ j else Bitset.unsafe_remove hold_fresh_ j
+  in
+  (* adaptive: classify the header's current option source without
+     allocating.  -1 = no options (inactive, arrived, fault-pinned or
+     source-side before its attempt window); -2 = forced-next (reroute pin,
+     the single channel [forced_.(j).(plen_.(j))]); -3 = inject options;
+     otherwise the head channel whose (channel, destination) row applies.
+     Channels that are down are not offered: adaptive routing steers
+     around faults by construction. *)
+  let opt_tag_of j t =
+    if not (active j) then -1
+    else begin
+      let h = head_.(j) in
+      (* [h >= plen] is exactly the arrived state (the header was consumed
+         at the destination), checked here without touching the bitset *)
+      if h >= plen_.(j) && h >= 0 then -1
+      else if h = -1 then begin
+        if injected_.(j) = 0 && t >= attempt_.(j) then
+          if Array.length forced_.(j) > 0 then
+            if plen_.(j) < Array.length forced_.(j) then -2 else -1
+          else -3
+        else -1
       end
+      else begin (* 0 <= h < plen: in flight *)
+        let c = path_.(j).(h) in
+        (* the header cannot leave a down channel, so don't let it claim
+           the next one either: an award always implies the hop completes *)
+        if chan_down c t then -1
+        else if chan_dst_.(c) = dst_.(j) then -1
+        else if Array.length forced_.(j) > 0 then
+          if plen_.(j) < Array.length forced_.(j) then -2 else -1
+        else c
+      end
+    end
+  in
+  (* first not-down option under a tag, -1 when the filtered set is empty.
+     Rows are tiny (node degree), so a reverse full scan into the shared
+     cursor stays cheap and closure-free. *)
+  let first_opt_of j tag t =
+    if tag = -1 then -1
+    else if tag = -2 then begin
+      let c = forced_.(j).(plen_.(j)) in
+      if chan_down c t then -1 else c
+    end
+    else begin
+      let row = if tag = -3 then inject_opts.(j) else row_get tag dslot_.(j) in
+      opt_row_.(j) <- row;
+      scan_found := -1;
+      for i = Array.length row - 1 downto 0 do
+        let c = Array.unsafe_get row i in
+        if not (chan_down c t) then scan_found := c
+      done;
+      !scan_found
+    end
+  in
+  let on_carved j c = Bytes.unsafe_get carved_mark.(j) c <> '\000' in
+  (* fused [opt_tag_of] + [first_opt_of] for the per-cycle registration
+     loop: one pass computes the tag, caches the row and returns the first
+     usable option, without re-branching on the tag or re-reading [forced_].
+     The split functions above stay for the cold probe/witness paths. *)
+  let register_opts j t =
+    if not (active j) then begin opt_tag_.(j) <- -1; -1 end
+    else begin
+      let h = head_.(j) in
+      if h >= plen_.(j) && h >= 0 then begin opt_tag_.(j) <- -1; -1 end
       else begin
-        let c = m.path.(m.head) in
-        (* the header cannot leave a down channel, so don't let it claim the
-           next one either; with Fault.down a pure function of (channel, t)
-           an award therefore always implies the hop can complete *)
-        if Fault.down faults c t then []
-        else if Topology.dst topo c = m.spec.Schedule.ms_dst then []
-        else if Array.length m.forced > 0 then forced_next ()
-        else
-          match policy with
-          | Adaptive ad ->
-            offer (Adaptive.options ad (Routing.From c) m.spec.Schedule.ms_dst)
-          | Oblivious _ -> []
+        let forced = forced_.(j) in
+        let nf = Array.length forced in
+        if h = -1 then begin
+          if injected_.(j) <> 0 || t < attempt_.(j) then begin opt_tag_.(j) <- -1; -1 end
+          else if nf > 0 then
+            if plen_.(j) < nf then begin
+              opt_tag_.(j) <- -2;
+              let c = forced.(plen_.(j)) in
+              if have_faults && Fault.down faults c t then -1 else c
+            end
+            else begin opt_tag_.(j) <- -1; -1 end
+          else begin
+            opt_tag_.(j) <- -3;
+            let row = inject_opts.(j) in
+            opt_row_.(j) <- row;
+            scan_found := -1;
+            for i = Array.length row - 1 downto 0 do
+              let c = Array.unsafe_get row i in
+              if not (have_faults && Fault.down faults c t) then scan_found := c
+            done;
+            !scan_found
+          end
+        end
+        else begin
+          let hc = path_.(j).(h) in
+          if (have_faults && Fault.down faults hc t) || chan_dst_.(hc) = dst_.(j) then begin
+            opt_tag_.(j) <- -1; -1
+          end
+          else if nf > 0 then
+            if plen_.(j) < nf then begin
+              opt_tag_.(j) <- -2;
+              let c = forced.(plen_.(j)) in
+              if have_faults && Fault.down faults c t then -1 else c
+            end
+            else begin opt_tag_.(j) <- -1; -1 end
+          else begin
+            opt_tag_.(j) <- hc;
+            let row = row_get hc dslot_.(j) in
+            opt_row_.(j) <- row;
+            scan_found := -1;
+            for i = Array.length row - 1 downto 0 do
+              let c = Array.unsafe_get row i in
+              if not (have_faults && Fault.down faults c t) then scan_found := c
+            done;
+            !scan_found
+          end
+        end
       end
+    end
+  in
+  (* the claim a sorted claimant actually takes: first option that is up,
+     unowned and not already on the carved path; -1 when none *)
+  let claim_pick j tag t =
+    if tag = -2 then begin
+      let c = forced_.(j).(plen_.(j)) in
+      if (not (have_faults && Fault.down faults c t)) && owner.(c) = -1 && not (on_carved j c) then c else -1
+    end
+    else begin
+      (* the row was cached by [first_opt_of] when this claimant registered *)
+      let row = opt_row_.(j) in
+      scan_found := -1;
+      for i = Array.length row - 1 downto 0 do
+        let c = Array.unsafe_get row i in
+        if (not (have_faults && Fault.down faults c t)) && owner.(c) = -1 && not (on_carved j c)
+        then scan_found := c
+      done;
+      !scan_found
     end
   in
   (* first channel the header is blocked on, mode-dispatched: used by the
      probe snapshot and the deadlock witness *)
-  let first_want m t =
-    if oblivious then wanted m
-    else match current_options m t with c :: _ -> Some c | [] -> None
+  let first_want_chan j t =
+    if oblivious then wanted_chan j else first_opt_of j (opt_tag_of j t) t
+  in
+  (* full current option list (adaptive), cold: only the deadlock witness
+     builds it *)
+  let options_list j t =
+    let tag = opt_tag_of j t in
+    if tag = -1 then []
+    else if tag = -2 then begin
+      let c = forced_.(j).(plen_.(j)) in
+      if chan_down c t then [] else [ c ]
+    end
+    else begin
+      let row = if tag = -3 then inject_opts.(j) else row_get tag dslot_.(j) in
+      List.filter (fun c -> not (chan_down c t)) (Array.to_list row)
+    end
   in
   (* -- sanitizer: re-derive the structural invariants from the full state
         at the end of every cycle (see Sanitizer's doc for the code table).
@@ -450,89 +648,87 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
     | Some san ->
       Sanitizer.note_cycle san;
       let ctx = [ ("algorithm", algo_name); ("cycle", string_of_int t) ] in
-      let viol code m msg =
+      let viol code j msg =
         Sanitizer.record san
-          (Diagnostic.error code (Diagnostic.Message m.spec.Schedule.ms_label) msg ~context:ctx)
+          (Diagnostic.error code (Diagnostic.Message (label j)) msg ~context:ctx)
       in
-      Array.iter
-        (fun m ->
-          let k = m.plen in
-          let buffered = ref 0 in
-          for i = 0 to k - 1 do
-            let n = m.occ.(i) in
-            buffered := !buffered + n;
-            if n < 0 || n > cap then
-              viol "E102" m
-                (Printf.sprintf "buffer occupancy %d outside [0, %d] at %s %d" n cap posw i);
-            if n > 0 then begin
-              if owner.(m.path.(i)) <> m.idx then
-                viol "E102" m
-                  (Printf.sprintf "flits buffered on %s which the message does not own"
-                     (Topology.channel_name topo m.path.(i)));
-              if i < m.released_up_to || i > m.head then
-                viol "E103" m
-                  (Printf.sprintf "flits at %s %d outside the live window [%d, %d]" posw i
-                     m.released_up_to (min m.head (k - 1)))
-            end
-          done;
-          if m.gone = None && m.injected <> m.consumed + !buffered then
-            viol "E101" m
-              (Printf.sprintf "flit conservation broken: injected %d <> consumed %d + buffered %d"
-                 m.injected m.consumed !buffered);
-          let release_bound = if m.arrived then k else max m.head 0 in
-          if m.released_up_to < 0 || m.released_up_to > release_bound then
-            viol "E103" m
-              (Printf.sprintf "release watermark %d outside [0, %d]" m.released_up_to
-                 release_bound);
-          if oblivious then begin
-            if m.waiting_for >= 0 then begin
-              if m.wait_since < 0 || m.wait_since > t then
-                viol "E104" m
-                  (Printf.sprintf "waiting for %s with seniority cycle %d outside [0, %d]"
-                     (Topology.channel_name topo m.waiting_for)
-                     m.wait_since t);
-              if wanted m <> Some m.waiting_for then
-                viol "E104" m
-                  (Printf.sprintf "wait entry on %s but the message no longer wants it"
-                     (Topology.channel_name topo m.waiting_for))
-            end
+      for j = 0 to nmsg - 1 do
+        let k = plen_.(j) in
+        let path = path_.(j) and occ = occ_.(j) in
+        let buffered = ref 0 in
+        for i = 0 to k - 1 do
+          let n = occ.(i) in
+          buffered := !buffered + n;
+          if n < 0 || n > cap then
+            viol "E102" j
+              (Printf.sprintf "buffer occupancy %d outside [0, %d] at %s %d" n cap posw i);
+          if n > 0 then begin
+            if owner.(path.(i)) <> j then
+              viol "E102" j
+                (Printf.sprintf "flits buffered on %s which the message does not own"
+                   (Topology.channel_name topo path.(i)));
+            if i < released_.(j) || i > head_.(j) then
+              viol "E103" j
+                (Printf.sprintf "flits at %s %d outside the live window [%d, %d]" posw i
+                   released_.(j)
+                   (min head_.(j) (k - 1)))
           end
-          else begin
-            if m.wait_since <> max_int && m.wait_since > t then
-              viol "E104" m
-                (Printf.sprintf "wait timestamp %d is in the future" m.wait_since);
-            if m.gone <> None && m.wait_since <> max_int then
-              viol "E104" m "abandoned message still has a wait timestamp"
-          end;
-          match config.recovery with
-          | Some r when m.gone = None ->
-            if m.retries > r.retry_limit then
-              viol "E105" m
-                (Printf.sprintf "live message has %d retries, over the limit %d" m.retries
-                   r.retry_limit);
-            let w = watchdog_of r in
-            if active m && t - m.last_progress >= w then
-              viol "E105" m
-                (Printf.sprintf
-                   "watchdog bound broken: no progress since cycle %d (watchdog %d)"
-                   m.last_progress w)
-          | Some _ | None -> ())
-        marr;
-      let on_route m c =
+        done;
+        if fate_.(j) = f_live && injected_.(j) <> consumed_.(j) + !buffered then
+          viol "E101" j
+            (Printf.sprintf "flit conservation broken: injected %d <> consumed %d + buffered %d"
+               injected_.(j) consumed_.(j) !buffered);
+        let release_bound = if Bitset.mem arrived_ j then k else max head_.(j) 0 in
+        if released_.(j) < 0 || released_.(j) > release_bound then
+          viol "E103" j
+            (Printf.sprintf "release watermark %d outside [0, %d]" released_.(j) release_bound);
+        if oblivious then begin
+          if waiting_.(j) >= 0 then begin
+            if wait_since_.(j) < 0 || wait_since_.(j) > t then
+              viol "E104" j
+                (Printf.sprintf "waiting for %s with seniority cycle %d outside [0, %d]"
+                   (Topology.channel_name topo waiting_.(j))
+                   wait_since_.(j) t);
+            if wanted_chan j <> waiting_.(j) then
+              viol "E104" j
+                (Printf.sprintf "wait entry on %s but the message no longer wants it"
+                   (Topology.channel_name topo waiting_.(j)))
+          end
+        end
+        else begin
+          if wait_since_.(j) <> max_int && wait_since_.(j) > t then
+            viol "E104" j (Printf.sprintf "wait timestamp %d is in the future" wait_since_.(j));
+          if fate_.(j) <> f_live && wait_since_.(j) <> max_int then
+            viol "E104" j "abandoned message still has a wait timestamp"
+        end;
+        match config.recovery with
+        | Some r when fate_.(j) = f_live ->
+          if retries_.(j) > r.retry_limit then
+            viol "E105" j
+              (Printf.sprintf "live message has %d retries, over the limit %d" retries_.(j)
+                 r.retry_limit);
+          let w = watchdog_of r in
+          if active j && t - last_progress_.(j) >= w then
+            viol "E105" j
+              (Printf.sprintf
+                 "watchdog bound broken: no progress since cycle %d (watchdog %d)"
+                 last_progress_.(j) w)
+        | Some _ | None -> ()
+      done;
+      let on_route j c =
         let found = ref false in
-        for i = 0 to m.plen - 1 do
-          if m.path.(i) = c then found := true
+        for i = 0 to plen_.(j) - 1 do
+          if path_.(j).(i) = c then found := true
         done;
         !found
       in
-      let held = Array.make (Array.length marr) 0 in
+      let held = Array.make nmsg 0 in
       Array.iteri
         (fun c own ->
           if own >= 0 then begin
             held.(own) <- held.(own) + 1;
-            let m = marr.(own) in
-            if not (on_route m c) then
-              viol "E102" m
+            if not (on_route own c) then
+              viol "E102" own
                 (Printf.sprintf "owns %s which is not on its %s"
                    (Topology.channel_name topo c)
                    (if oblivious then "path" else "carved path"))
@@ -542,129 +738,123 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
          a message that holds nothing is a dangling edge the online
          detector would chase into nowhere -- only a not-yet-injected
          source-side waiter may legitimately wait while holding nothing. *)
-      Array.iter
-        (fun m ->
-          let edge = if oblivious then m.waiting_for else m.wait_edge in
-          if edge >= 0 then begin
-            if m.gone <> None then
-              viol "E106" m
-                (Printf.sprintf "abandoned message still advertises a wait-for edge on %s"
-                   (Topology.channel_name topo edge))
-            else if m.injected > 0 && held.(m.idx) = 0 then
-              viol "E106" m
-                (Printf.sprintf "waits for %s but holds no channel"
-                   (Topology.channel_name topo edge))
-          end)
-        marr
+      for j = 0 to nmsg - 1 do
+        let edge = if oblivious then waiting_.(j) else wait_edge_.(j) in
+        if edge >= 0 then begin
+          if fate_.(j) <> f_live then
+            viol "E106" j
+              (Printf.sprintf "abandoned message still advertises a wait-for edge on %s"
+                 (Topology.channel_name topo edge))
+          else if injected_.(j) > 0 && held.(j) = 0 then
+            viol "E106" j
+              (Printf.sprintf "waits for %s but holds no channel"
+                 (Topology.channel_name topo edge))
+        end
+      done
   in
   (* abort-and-drain: release every held channel, drop buffered flits, and
      return the message to its pre-injection state *)
-  let drain m t =
-    for i = 0 to m.plen - 1 do
-      let c = m.path.(i) in
-      if owner.(c) = m.idx then begin
+  let drain j t =
+    let path = path_.(j) in
+    for i = 0 to plen_.(j) - 1 do
+      let c = path.(i) in
+      if owner.(c) = j then begin
         owner.(c) <- -1;
         if obs_on then
-          emit
-            (Obs_event.Channel_release
-               { cycle = t; label = m.spec.Schedule.ms_label; channel = c })
+          emit (Obs_event.Channel_release { cycle = t; label = label j; channel = c })
       end
     done;
     if oblivious then begin
-      if obs_on && m.waiting_for >= 0 then
+      if obs_on && waiting_.(j) >= 0 then
         emit
           (Obs_event.Wait_drop
-             { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
-               waited = t - m.wait_since });
-      m.waiting_for <- -1
+             { cycle = t; label = label j; channel = waiting_.(j);
+               waited = t - wait_since_.(j) });
+      waiting_.(j) <- -1
     end
     else begin
       (* retract the advertised wait-for edge: without this, a message
          aborted mid-wait leaves a dangling edge on the stream that the
          online detector would keep chasing (sanitizer E106) *)
-      if obs_on && m.wait_edge >= 0 then
+      if obs_on && wait_edge_.(j) >= 0 then
         emit
           (Obs_event.Wait_drop
-             { cycle = t; label = m.spec.Schedule.ms_label; channel = m.wait_edge;
-               waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
-      m.wait_edge <- -1;
-      m.wait_since <- max_int;
-      m.plen <- 0  (* the carved route is forgotten; a retry carves afresh *)
+             { cycle = t; label = label j; channel = wait_edge_.(j);
+               waited = (if wait_since_.(j) = max_int then 0 else t - wait_since_.(j)) });
+      wait_edge_.(j) <- -1;
+      wait_since_.(j) <- max_int;
+      plen_.(j) <- 0;  (* the carved route is forgotten; a retry carves afresh *)
+      Bytes.fill carved_mark.(j) 0 (Bytes.length carved_mark.(j)) '\000'
     end;
-    Array.fill m.occ 0 (Array.length m.occ) 0;
-    m.head <- -1;
-    m.arrived <- false;
-    m.injected <- 0;
-    m.consumed <- 0;
-    m.hold <- 0;
-    m.hold_fresh <- false;
-    m.released_up_to <- 0
+    Array.fill occ_.(j) 0 (Array.length occ_.(j)) 0;
+    head_.(j) <- -1;
+    Bitset.unsafe_remove arrived_ j;
+    injected_.(j) <- 0;
+    consumed_.(j) <- 0;
+    hold_.(j) <- 0;
+    Bitset.unsafe_remove hold_fresh_ j;
+    released_.(j) <- 0
   in
-  let give_up m fate t =
-    drain m t;
-    m.gone <- Some fate;
+  let give_up j fate t =
+    drain j t;
+    fate_.(j) <- fate;
     incr finished;
     if obs_on then
       emit
         (Obs_event.Gave_up
-           { cycle = t; label = m.spec.Schedule.ms_label;
-             fate = (match fate with Dropped -> "dropped" | _ -> "gave-up") })
+           { cycle = t; label = label j;
+             fate = (if fate = f_dropped then "dropped" else "gave-up") })
   in
-  let abort_retry m (r : recovery) t ~reason =
-    drain m t;
-    m.retries <- m.retries + 1;
+  let abort_retry j (r : recovery) t ~reason =
+    drain j t;
+    retries_.(j) <- retries_.(j) + 1;
     if obs_on then
-      emit
-        (Obs_event.Abort
-           { cycle = t; label = m.spec.Schedule.ms_label; retries = m.retries; reason });
-    if m.retries > r.retry_limit then give_up m Gave_up t
+      emit (Obs_event.Abort { cycle = t; label = label j; retries = retries_.(j); reason });
+    if retries_.(j) > r.retry_limit then give_up j f_gave_up t
     else begin
       (match r.reroute with
       | None -> ()
       | Some rt' -> (
-        match Routing.path rt' m.spec.Schedule.ms_src m.spec.Schedule.ms_dst with
+        match Routing.path rt' specs.(j).Schedule.ms_src dst_.(j) with
         | Ok p ->
           if oblivious then begin
-            m.path <- Array.of_list p;
-            m.occ <- Array.make (Array.length m.path) 0;
-            m.holds <- holds_for_path m.spec m.path;
-            m.plen <- Array.length m.path
+            path_.(j) <- Array.of_list p;
+            occ_.(j) <- Array.make (Array.length path_.(j)) 0;
+            holds_.(j) <- holds_for_path specs.(j) path_.(j);
+            plen_.(j) <- Array.length path_.(j)
           end
           else
             (* adaptive: pin the remaining route; the retried header claims
                exactly these channels (down ones still refuse it) *)
-            m.forced <- Array.of_list p
+            forced_.(j) <- Array.of_list p
         | Error _ ->
           (* the degraded network cannot deliver this pair at all *)
-          give_up m Gave_up t));
-      if m.gone = None then begin
-        let delay = r.backoff * (1 lsl min (m.retries - 1) 20) in
-        m.attempt_at <- t + delay;
-        m.last_progress <- t + delay;
+          give_up j f_gave_up t));
+      if fate_.(j) = f_live then begin
+        let delay = r.backoff * (1 lsl min (retries_.(j) - 1) 20) in
+        attempt_.(j) <- t + delay;
+        last_progress_.(j) <- t + delay;
         if obs_on then
-          emit
-            (Obs_event.Retry
-               { cycle = t; label = m.spec.Schedule.ms_label; resume_at = m.attempt_at })
+          emit (Obs_event.Retry { cycle = t; label = label j; resume_at = attempt_.(j) })
       end
     end
   in
   (* one consumed flit at the destination channel [last] *)
-  let consume m t last =
-    m.consumed <- m.consumed + 1;
+  let consume j t last =
+    consumed_.(j) <- consumed_.(j) + 1;
     moved := true;
-    m.progressed <- true;
+    Bytes.unsafe_set progressed_ j '\001';
     if obs_on then
       emit
         (Obs_event.Flit
-           { cycle = t; label = m.spec.Schedule.ms_label; channel = last;
-             kind = Obs_event.Consume });
-    if m.consumed = m.spec.Schedule.ms_length then begin
-      m.delivered_at <- Some t;
+           { cycle = t; label = label j; channel = last; kind = Obs_event.Consume });
+    if consumed_.(j) = len_.(j) then begin
+      delivered_at_.(j) <- t;
       if obs_on then
         emit
           (Obs_event.Delivered
-             { cycle = t; label = m.spec.Schedule.ms_label;
-               latency = (match m.injected_at with Some i -> t - i | None -> t) })
+             { cycle = t; label = label j;
+               latency = (if injected_at_.(j) >= 0 then t - injected_at_.(j) else t) })
     end
   in
   let cycle = ref 0 in
@@ -672,44 +862,84 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
   while !outcome = None do
     let t = !cycle in
     moved := false;
-    Array.iter (fun m -> m.progressed <- false) marr;
-    (match policy with
-    | Oblivious _ ->
-      (* -- arbitration: register requests, then award each free channel.
-            A message's wait_since entry follows the channel it currently
-            wants: when the want changes (progress, hold expiry, abort,
-            reroute) the stale entry is dropped so seniority cannot leak
-            onto a channel the message no longer requests. -- *)
-      let eligible m = m.head >= 0 || (m.injected = 0 && t >= m.attempt_at) in
+    Bytes.fill progressed_ 0 (Bytes.length progressed_) '\000';
+    (* live positions >= [nact] hold exactly the still-sleeping sources
+       (see [static_windows]); the arbitration and movement loops below do
+       not visit them.  The prefix test stays in each loop for the
+       fallback mode and never fires in static mode. *)
+    let nact =
+      if not static_windows then !nlive
+      else begin
+        while !awake_n < nmsg && attempt_.(!awake_n) <= t do
+          incr awake_n
+        done;
+        bs_lo := 0;
+        bs_hi := !nlive;
+        while !bs_lo < !bs_hi do
+          let mid = (!bs_lo + !bs_hi) / 2 in
+          if live.(mid) < !awake_n then bs_lo := mid + 1 else bs_hi := mid
+        done;
+        !bs_lo
+      end
+    in
+    if oblivious then begin
+      (* -- arbitration: register requests and track each channel's best
+            waiter, then award.  A message's wait_since entry follows the
+            channel it currently wants: when the want changes (progress,
+            hold expiry, abort, reroute) the stale entry is dropped so
+            seniority cannot leak onto a channel the message no longer
+            requests.  The (wait_since, rank) key is unique per message
+            (rank embeds the schedule index), so the min tracked during
+            registration is scan-order independent and equals the old
+            award-time rescan. -- *)
       req_count := 0;
-      for j = 0 to nmsg - 1 do
-        let m = marr.(j) in
-        let c = wanted_chan m in
-        if c >= 0 && eligible m && owner.(c) <> m.idx then begin
-          if m.waiting_for <> c then begin
+      for li = 0 to nact - 1 do
+        let j = live.(li) in
+        (* a source still before its attempt window neither requests nor
+           waits (its [waiting_] is -1 by construction: every abort drains
+           the wait entry) -- skip it outright *)
+        if injected_.(j) = 0 && t < attempt_.(j) then ()
+        else begin
+        let c = wanted_chan j in
+        if
+          c >= 0
+          && (head_.(j) >= 0 || (injected_.(j) = 0 && t >= attempt_.(j)))
+          && owner.(c) <> j
+        then begin
+          if waiting_.(j) <> c then begin
             if obs_on then begin
-              if m.waiting_for >= 0 then
+              if waiting_.(j) >= 0 then
                 emit
                   (Obs_event.Wait_drop
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
-                       waited = t - m.wait_since });
+                     { cycle = t; label = label j; channel = waiting_.(j);
+                       waited = t - wait_since_.(j) });
               emit
                 (Obs_event.Wait_add
-                   { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                     holder =
-                       (if owner.(c) >= 0 then
-                          Some marr.(owner.(c)).spec.Schedule.ms_label
-                        else None) })
+                   { cycle = t; label = label j; channel = c;
+                     holder = (if owner.(c) >= 0 then Some (label owner.(c)) else None) })
             end;
-            m.waiting_for <- c;
-            m.wait_since <- t
+            waiting_.(j) <- c;
+            wait_since_.(j) <- t
           end;
           (* a down channel cannot be acquired, but the waiter keeps its
              seniority for when the stall clears *)
-          if not (Fault.down faults c t) && req_stamp.(c) <> t then begin
-            req_stamp.(c) <- t;
-            req_list.(!req_count) <- c;
-            incr req_count
+          if not (have_faults && Fault.down faults c t) then begin
+            if req_stamp.(c) <> t then begin
+              req_stamp.(c) <- t;
+              req_list.(!req_count) <- c;
+              incr req_count;
+              cand_j.(c) <- -1
+            end;
+            let since = wait_since_.(j) in
+            let r = rank_of.(j) in
+            if
+              cand_j.(c) < 0 || since < cand_since.(c)
+              || (since = cand_since.(c) && r < cand_rank.(c))
+            then begin
+              cand_j.(c) <- j;
+              cand_since.(c) <- since;
+              cand_rank.(c) <- r
+            end
           end
         end
         else begin
@@ -717,12 +947,13 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
              owns the channel it wants and its hop is merely fault-deferred:
              an owner is not a waiter, so it must not keep a seniority stamp
              (the sanitizer's E104 check relies on this) *)
-          if obs_on && m.waiting_for >= 0 then
+          if obs_on && waiting_.(j) >= 0 then
             emit
               (Obs_event.Wait_drop
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = m.waiting_for;
-                   waited = t - m.wait_since });
-          m.waiting_for <- -1
+                 { cycle = t; label = label j; channel = waiting_.(j);
+                   waited = t - wait_since_.(j) });
+          waiting_.(j) <- -1
+        end
         end
       done;
       (* awards for distinct channels are independent (an award writes only
@@ -730,341 +961,338 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
          depend on the order of [req_list] *)
       for ri = 0 to !req_count - 1 do
         let c = req_list.(ri) in
-        if owner.(c) = -1 then begin
-          let best_j = ref (-1) in
-          let best_since = ref 0 in
-          let best_rank = ref 0 in
-          for j = 0 to nmsg - 1 do
-            let m = marr.(j) in
-            if wanted_chan m = c && eligible m then begin
-              let since = if m.waiting_for = c then m.wait_since else t in
-              let r = rank_of.(j) in
-              if
-                !best_j < 0 || since < !best_since
-                || (since = !best_since && r < !best_rank)
-              then begin
-                best_j := j;
-                best_since := since;
-                best_rank := r
-              end
-            end
-          done;
-          if !best_j >= 0 then begin
-            let m = marr.(!best_j) in
-            owner.(c) <- m.idx;
-            if obs_on then
-              emit
-                (Obs_event.Channel_acquire
-                   { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                     waited = t - !best_since });
-            m.waiting_for <- -1;
-            m.progressed <- true;
-            moved := true
-          end
+        if owner.(c) = -1 && cand_j.(c) >= 0 then begin
+          let j = cand_j.(c) in
+          owner.(c) <- j;
+          if obs_on then
+            emit
+              (Obs_event.Channel_acquire
+                 { cycle = t; label = label j; channel = c; waited = t - cand_since.(c) });
+          waiting_.(j) <- -1;
+          Bytes.unsafe_set progressed_ j '\001';
+          moved := true
         end
       done
-    | Adaptive _ ->
+    end
+    else begin
       (* -- allocation: headers claim their first free option; earlier
             waiters first, then priority -- *)
-      let nclaim = ref 0 in
-      for j = 0 to nmsg - 1 do
-        let m = marr.(j) in
-        m.awarded_now <- -1;
-        let opts = current_options m t in
-        opts_now.(j) <- opts;
-        if opts <> [] then begin
-          if m.wait_since = max_int then m.wait_since <- t;
-          claim_order.(!nclaim) <- j;
-          incr nclaim
+      claim_count := 0;
+      for li = 0 to nact - 1 do
+        let j = live.(li) in
+        (* pre-window sources have no options, no stale award and no
+           advertised edge (aborts drain them): skip without touching state *)
+        if injected_.(j) = 0 && t < attempt_.(j) then ()
+        else begin
+        awarded_.(j) <- -1;
+        let fo = register_opts j t in
+        first_opt_.(j) <- fo;
+        if fo >= 0 then begin
+          if wait_since_.(j) = max_int then wait_since_.(j) <- t;
+          claim_order.(!claim_count) <- j;
+          incr claim_count
         end
-        else if m.wait_edge >= 0 then begin
+        else if wait_edge_.(j) >= 0 then begin
           (* the header can no longer move at all (arrived, delivered, or
              fault-pinned): its advertised edge is stale *)
           if obs_on then
             emit
               (Obs_event.Wait_drop
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = m.wait_edge;
-                   waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
-          m.wait_edge <- -1
+                 { cycle = t; label = label j; channel = wait_edge_.(j);
+                   waited = (if wait_since_.(j) = max_int then 0 else t - wait_since_.(j)) });
+          wait_edge_.(j) <- -1
+        end
         end
       done;
       (* insertion sort of the claimants by (wait_since, rank): keys are
          unique (rank embeds the schedule index), so this matches a
          [List.sort] order exactly, without the per-cycle list build *)
-      for a = 1 to !nclaim - 1 do
+      for a = 1 to !claim_count - 1 do
         let j = claim_order.(a) in
-        let kw = marr.(j).wait_since in
+        let kw = wait_since_.(j) in
         let kr = rank_of.(j) in
-        let b = ref (a - 1) in
+        ins_b := a - 1;
         while
-          !b >= 0
+          !ins_b >= 0
           &&
-          let j' = claim_order.(!b) in
-          let w' = marr.(j').wait_since in
+          let j' = claim_order.(!ins_b) in
+          let w' = wait_since_.(j') in
           w' > kw || (w' = kw && rank_of.(j') > kr)
         do
-          claim_order.(!b + 1) <- claim_order.(!b);
-          decr b
+          claim_order.(!ins_b + 1) <- claim_order.(!ins_b);
+          decr ins_b
         done;
-        claim_order.(!b + 1) <- j
+        claim_order.(!ins_b + 1) <- j
       done;
-      let on_carved m c =
-        let found = ref false in
-        for i = 0 to m.plen - 1 do
-          if m.path.(i) = c then found := true
-        done;
-        !found
-      in
-      for a = 0 to !nclaim - 1 do
-        let m = marr.(claim_order.(a)) in
-        let free =
-          List.find_opt (fun c -> owner.(c) = -1 && not (on_carved m c)) opts_now.(m.idx)
-        in
-        match free with
-        | Some c ->
-          m.awarded_now <- c;
-          owner.(c) <- m.idx;
+      for a = 0 to !claim_count - 1 do
+        let j = claim_order.(a) in
+        let c = claim_pick j opt_tag_.(j) t in
+        if c >= 0 then begin
+          awarded_.(j) <- c;
+          owner.(c) <- j;
           if obs_on then
             emit
               (Obs_event.Channel_acquire
-                 { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                   waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
-          m.wait_since <- max_int;
+                 { cycle = t; label = label j; channel = c;
+                   waited = (if wait_since_.(j) = max_int then 0 else t - wait_since_.(j)) });
+          wait_since_.(j) <- max_int;
           (* the acquisition resolves the advertised edge (Channel_acquire
              implies resolution; no Wait_drop is emitted) *)
-          m.wait_edge <- -1;
-          m.progressed <- true;
+          wait_edge_.(j) <- -1;
+          Bytes.unsafe_set progressed_ j '\001';
           moved := true
-        | None -> ()
+        end
+        else if not obs_on then begin
+          (* wait-for edge maintenance, fused into the claim pass: a loser's
+             new edge depends only on its own phase-1 preference, never on
+             later claims, so updating it here is equivalent to the separate
+             post-claim sweep the event stream needs (below) *)
+          let c = first_opt_.(j) in
+          if c >= 0 && c <> wait_edge_.(j) then wait_edge_.(j) <- c
+        end
       done;
       (* wait-for edge maintenance: a claimant that won nothing advertises
          an edge on its first (preferred) option; when the preference moves
          the old edge is retracted before the new one appears, so the
-         stream always carries at most one edge per message *)
-      for a = 0 to !nclaim - 1 do
-        let m = marr.(claim_order.(a)) in
-        if m.awarded_now < 0 then begin
-          match opts_now.(m.idx) with
-          | c :: _ when c <> m.wait_edge ->
-            if obs_on then begin
-              if m.wait_edge >= 0 then
+         stream always carries at most one edge per message.  The Wait_add
+         holder field snapshots the post-claim owner, so with observability
+         on this stays a separate pass after all claims resolve. *)
+      if obs_on then
+        for a = 0 to !claim_count - 1 do
+          let j = claim_order.(a) in
+          if awarded_.(j) < 0 then begin
+            let c = first_opt_.(j) in
+            if c >= 0 && c <> wait_edge_.(j) then begin
+              if wait_edge_.(j) >= 0 then
                 emit
                   (Obs_event.Wait_drop
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.wait_edge;
-                       waited = (if m.wait_since = max_int then 0 else t - m.wait_since) });
+                     { cycle = t; label = label j; channel = wait_edge_.(j);
+                       waited =
+                         (if wait_since_.(j) = max_int then 0 else t - wait_since_.(j)) });
               emit
                 (Obs_event.Wait_add
-                   { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                     holder =
-                       (if owner.(c) >= 0 then Some marr.(owner.(c)).spec.Schedule.ms_label
-                        else None) })
-            end;
-            m.wait_edge <- c
-          | _ -> ()
-        end
-      done);
+                   { cycle = t; label = label j; channel = c;
+                     holder = (if owner.(c) >= 0 then Some (label owner.(c)) else None) });
+              wait_edge_.(j) <- c
+            end
+          end
+        done
+    end;
     (* -- movement: per message, sweep from the front so freed slots are
           visible to the flits behind (wormhole pipelining).  A down channel
           (failed or stalled) neither accepts nor emits flits. -- *)
-    Array.iter
-      (fun m ->
-        let ok i = not (Fault.down faults m.path.(i) t) in
-        if active m then begin
-          (* consumption at the destination.  Oblivious: the route ends at
-             the destination by construction and the last hop honors holds.
-             Adaptive: the carved route may not have reached the
-             destination yet, and arrival is recorded as soon as the header
-             sits in a destination channel (holds are ignored). *)
-          (if oblivious then begin
-             let k = m.plen in
-             if
-               (m.arrived || (m.head = k - 1 && m.hold = 0))
-               && m.occ.(k - 1) > 0 && ok (k - 1)
-             then begin
-               m.occ.(k - 1) <- m.occ.(k - 1) - 1;
-               if m.head = k - 1 then begin
-                 m.head <- k;
-                 m.arrived <- true
-               end;
-               consume m t m.path.(k - 1)
-             end
+    for li = 0 to nact - 1 do
+      let j = live.(li) in
+      (* a pre-window source holds nothing, buffers nothing and may not
+         inject yet: the whole sweep is a no-op for it *)
+      if active j && not (injected_.(j) = 0 && t < attempt_.(j)) then begin
+        (* consumption at the destination.  Oblivious: the route ends at
+           the destination by construction and the last hop honors holds.
+           Adaptive: the carved route may not have reached the destination
+           yet, and arrival is recorded as soon as the header sits in a
+           destination channel (holds are ignored). *)
+        (if oblivious then begin
+           let path = path_.(j) and occ = occ_.(j) in
+           let k = plen_.(j) in
+           if
+             occ.(k - 1) > 0
+             && (Bitset.unsafe_mem arrived_ j || (head_.(j) = k - 1 && hold_.(j) = 0))
+             && not (have_faults && Fault.down faults path.(k - 1) t)
+           then begin
+             occ.(k - 1) <- occ.(k - 1) - 1;
+             if head_.(j) = k - 1 then begin
+               head_.(j) <- k;
+               Bitset.unsafe_add arrived_ j
+             end;
+             consume j t path.(k - 1)
+           end;
+           (* header advance: hop into the fixed next channel once acquired
+              (award and hop may be cycles apart) *)
+           let h = head_.(j) in
+           if
+             h >= 0 && h < k - 1 && hold_.(j) = 0
+             && owner.(path.(h + 1)) = j
+             && (not (have_faults && Fault.down faults path.(h) t))
+             && not (have_faults && Fault.down faults path.(h + 1) t)
+           then begin
+             occ.(h) <- occ.(h) - 1;
+             occ.(h + 1) <- occ.(h + 1) + 1;
+             head_.(j) <- h + 1;
+             set_hold j (h + 1);
+             moved := true;
+             Bytes.unsafe_set progressed_ j '\001';
+             if obs_on then
+               emit
+                 (Obs_event.Flit
+                    { cycle = t; label = label j; channel = path.(h + 1);
+                      kind = Obs_event.Hop })
            end
-           else begin
-             let k = m.plen in
-             if k > 0 then begin
-               let last = m.path.(k - 1) in
-               if Topology.dst topo last = m.spec.Schedule.ms_dst && m.head >= k - 1
-               then begin
-                 if m.head = k - 1 then begin
-                   m.arrived <- true;
-                   m.head <- k
-                 end;
-                 if m.occ.(k - 1) > 0 && ok (k - 1) then begin
-                   m.occ.(k - 1) <- m.occ.(k - 1) - 1;
-                   consume m t last
-                 end
+         end
+         else begin
+           let k = plen_.(j) in
+           (* head-position test first: it misses in registers, the
+              channel-destination test misses in memory *)
+           if k > 0 && head_.(j) >= k - 1 then begin
+             let last = path_.(j).(k - 1) in
+             if chan_dst_.(last) = dst_.(j) then begin
+               if head_.(j) = k - 1 then begin
+                 Bitset.unsafe_add arrived_ j;
+                 head_.(j) <- k
+               end;
+               if occ_.(j).(k - 1) > 0 && not (have_faults && Fault.down faults last t) then begin
+                 occ_.(j).(k - 1) <- occ_.(j).(k - 1) - 1;
+                 consume j t last
                end
              end
-           end);
-          (* header advance.  Oblivious: hop into the fixed next channel
-             once acquired (award and hop may be cycles apart).  Adaptive:
-             push into the channel claimed this very cycle (an award always
-             implies the hop completes). *)
-          (if oblivious then begin
-             let k = m.plen in
-             if
-               m.head >= 0 && m.head < k - 1 && m.hold = 0
-               && owner.(m.path.(m.head + 1)) = m.idx
-               && ok m.head && ok (m.head + 1)
-             then begin
-               m.occ.(m.head) <- m.occ.(m.head) - 1;
-               m.occ.(m.head + 1) <- m.occ.(m.head + 1) + 1;
-               m.head <- m.head + 1;
-               set_hold m m.head;
+           end;
+           (* header push into the channel claimed this very cycle (an
+              award always implies the hop completes).  [carve] may replace
+              the path/occ rows, so they are re-read below. *)
+           if awarded_.(j) >= 0 then begin
+             let c = awarded_.(j) in
+             if head_.(j) = -1 then begin
+               carve j c;
+               occ_.(j).(0) <- 1;
+               head_.(j) <- 0;
+               injected_.(j) <- 1;
+               injected_at_.(j) <- t;
                moved := true;
-               m.progressed <- true;
+               Bytes.unsafe_set progressed_ j '\001';
                if obs_on then
                  emit
                    (Obs_event.Flit
-                      { cycle = t; label = m.spec.Schedule.ms_label;
-                        channel = m.path.(m.head); kind = Obs_event.Hop })
-             end
-           end
-           else if m.awarded_now >= 0 then begin
-             let c = m.awarded_now in
-             if m.head = -1 then begin
-               (* header injection *)
-               carve m c;
-               m.occ.(0) <- 1;
-               m.head <- 0;
-               m.injected <- 1;
-               m.injected_at <- Some t;
-               moved := true;
-               m.progressed <- true;
-               if obs_on then
-                 emit
-                   (Obs_event.Flit
-                      { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                        kind = Obs_event.Inject })
+                      { cycle = t; label = label j; channel = c; kind = Obs_event.Inject })
              end
              else begin
-               carve m c;
-               m.occ.(m.head) <- m.occ.(m.head) - 1;
-               m.occ.(m.head + 1) <- 1;
-               m.head <- m.head + 1;
+               carve j c;
+               let occ = occ_.(j) in
+               let h = head_.(j) in
+               occ.(h) <- occ.(h) - 1;
+               occ.(h + 1) <- 1;
+               head_.(j) <- h + 1;
                moved := true;
-               m.progressed <- true;
+               Bytes.unsafe_set progressed_ j '\001';
                if obs_on then
                  emit
                    (Obs_event.Flit
-                      { cycle = t; label = m.spec.Schedule.ms_label; channel = c;
-                        kind = Obs_event.Hop })
+                      { cycle = t; label = label j; channel = c; kind = Obs_event.Hop })
              end
-           end);
-          (* data flits cascade toward the header *)
-          let k = m.plen in
-          let front = min (m.head - 1) (k - 2) in
-          for i = front downto 0 do
-            if m.occ.(i) > 0 && m.occ.(i + 1) < cap && ok i && ok (i + 1) then begin
-              m.occ.(i) <- m.occ.(i) - 1;
-              m.occ.(i + 1) <- m.occ.(i + 1) + 1;
-              moved := true;
-              m.progressed <- true;
-              if obs_on then
-                emit
-                  (Obs_event.Flit
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(i + 1);
-                       kind = Obs_event.Cascade })
-            end
-          done;
-          (* injection at the source: the header first (oblivious mode --
-             an adaptive header injects in the claim-push above), then at
-             most one data flit per cycle; the header push counts as the
-             injection-cycle's flit *)
-          if oblivious && m.injected = 0 then begin
-            if owner.(m.path.(0)) = m.idx && m.head = -1 && ok 0 then begin
-              m.occ.(0) <- 1;
-              m.injected <- 1;
-              m.head <- 0;
-              m.injected_at <- Some t;
-              set_hold m 0;
-              moved := true;
-              m.progressed <- true;
-              if obs_on then
-                emit
-                  (Obs_event.Flit
-                     { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(0);
-                       kind = Obs_event.Inject })
-            end
-          end
-          else if
-            m.injected > 0 && m.injected < m.spec.Schedule.ms_length
-            && (match m.injected_at with Some at0 -> at0 <> t | None -> true)
-            && m.occ.(0) < cap
-            && owner.(m.path.(0)) = m.idx
-            && ok 0
+           end
+         end);
+        let path = path_.(j) and occ = occ_.(j) in
+        let k = plen_.(j) in
+        (* data flits cascade toward the header *)
+        let front = min (head_.(j) - 1) (k - 2) in
+        (* positions below the release watermark are empty (E103 window),
+           so the sweep stops there instead of walking to 0 *)
+        for i = front downto released_.(j) do
+          if
+            occ.(i) > 0 && occ.(i + 1) < cap
+            && (not (have_faults && Fault.down faults path.(i) t))
+            && not (have_faults && Fault.down faults path.(i + 1) t)
           then begin
-            m.occ.(0) <- m.occ.(0) + 1;
-            m.injected <- m.injected + 1;
+            occ.(i) <- occ.(i) - 1;
+            occ.(i + 1) <- occ.(i + 1) + 1;
             moved := true;
-            m.progressed <- true;
+            Bytes.unsafe_set progressed_ j '\001';
             if obs_on then
               emit
                 (Obs_event.Flit
-                   { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(0);
-                     kind = Obs_event.Inject })
-          end;
-          (* release: channels the whole message has passed through *)
-          if m.injected = m.spec.Schedule.ms_length then begin
-            let i = ref m.released_up_to in
-            let continue = ref true in
-            while !continue && !i < m.plen do
-              if m.occ.(!i) = 0 && owner.(m.path.(!i)) = m.idx && (!i < m.head || m.arrived)
-              then begin
-                owner.(m.path.(!i)) <- -1;
-                moved := true;
-                m.progressed <- true;
-                if obs_on then
-                  emit
-                    (Obs_event.Channel_release
-                       { cycle = t; label = m.spec.Schedule.ms_label; channel = m.path.(!i) });
-                incr i
-              end
-              else continue := false
-            done;
-            m.released_up_to <- !i
-          end;
-          if m.delivered_at = Some t then incr finished;
-          (* hold countdown (skip the cycle the hold was set); expiry is
-             progress: the header will act next cycle.  Adaptive mode never
-             sets holds, so this is a no-op there. *)
-          if m.hold > 0 then begin
-            m.progressed <- true;
-            if m.hold_fresh then m.hold_fresh <- false
-            else begin
-              m.hold <- m.hold - 1;
-              if m.hold = 0 then moved := true
-            end
+                   { cycle = t; label = label j; channel = path.(i + 1);
+                     kind = Obs_event.Cascade })
           end
-        end)
-      marr;
-    (* -- faults and recovery: source-side drops, then the watchdog -- *)
-    if not (Fault.is_empty config.faults) then
-      Array.iter
-        (fun m ->
-          if active m && m.injected = 0 && Fault.dropped_now faults m.spec.Schedule.ms_label t
+        done;
+        (* injection at the source: the header first (oblivious mode -- an
+           adaptive header injects in the claim-push above), then at most
+           one data flit per cycle; the header push counts as the
+           injection-cycle's flit *)
+        if oblivious && injected_.(j) = 0 then begin
+          if owner.(path.(0)) = j && head_.(j) = -1 && not (have_faults && Fault.down faults path.(0) t)
           then begin
-            perturbed := true;
+            occ.(0) <- 1;
+            injected_.(j) <- 1;
+            head_.(j) <- 0;
+            injected_at_.(j) <- t;
+            set_hold j 0;
+            moved := true;
+            Bytes.unsafe_set progressed_ j '\001';
             if obs_on then
               emit
-                (Obs_event.Fault
-                   { cycle = t; kind = Obs_event.Drop_fired; channel = None;
-                     label = Some m.spec.Schedule.ms_label; duration = 0 });
-            match config.recovery with
-            | None -> give_up m Dropped t
-            | Some r -> abort_retry m r t ~reason:"drop"
-          end)
-        marr;
+                (Obs_event.Flit
+                   { cycle = t; label = label j; channel = path.(0);
+                     kind = Obs_event.Inject })
+          end
+        end
+        else if
+          injected_.(j) > 0
+          && injected_.(j) < len_.(j)
+          && injected_at_.(j) <> t
+          && occ.(0) < cap
+          && owner.(path.(0)) = j
+          && not (have_faults && Fault.down faults path.(0) t)
+        then begin
+          occ.(0) <- occ.(0) + 1;
+          injected_.(j) <- injected_.(j) + 1;
+          moved := true;
+          Bytes.unsafe_set progressed_ j '\001';
+          if obs_on then
+            emit
+              (Obs_event.Flit
+                 { cycle = t; label = label j; channel = path.(0);
+                   kind = Obs_event.Inject })
+        end;
+        (* release: channels the whole message has passed through *)
+        if injected_.(j) = len_.(j) then begin
+          rel_i := released_.(j);
+          let h = head_.(j) in
+          scan_flag := true;
+          while !scan_flag && !rel_i < k do
+            let i = !rel_i in
+            if occ.(i) = 0 && owner.(path.(i)) = j && (i < h || Bitset.unsafe_mem arrived_ j)
+            then begin
+              owner.(path.(i)) <- -1;
+              moved := true;
+              Bytes.unsafe_set progressed_ j '\001';
+              if obs_on then
+                emit
+                  (Obs_event.Channel_release
+                     { cycle = t; label = label j; channel = path.(i) });
+              incr rel_i
+            end
+            else scan_flag := false
+          done;
+          released_.(j) <- !rel_i
+        end;
+        if delivered_at_.(j) = t then incr finished;
+        (* hold countdown (skip the cycle the hold was set); expiry is
+           progress: the header will act next cycle.  Adaptive mode never
+           sets holds, so this is a no-op there. *)
+        if hold_.(j) > 0 then begin
+          Bytes.unsafe_set progressed_ j '\001';
+          if Bitset.unsafe_mem hold_fresh_ j then Bitset.unsafe_remove hold_fresh_ j
+          else begin
+            hold_.(j) <- hold_.(j) - 1;
+            if hold_.(j) = 0 then moved := true
+          end
+        end
+      end
+    done;
+    (* -- faults and recovery: source-side drops, then the watchdog -- *)
+    if have_faults then
+      for li = 0 to !nlive - 1 do
+        let j = live.(li) in
+        if active j && injected_.(j) = 0 && Fault.dropped_now faults (label j) t then begin
+          perturbed := true;
+          if obs_on then
+            emit
+              (Obs_event.Fault
+                 { cycle = t; kind = Obs_event.Drop_fired; channel = None;
+                   label = Some (label j); duration = 0 });
+          match config.recovery with
+          | None -> give_up j f_dropped t
+          | Some r -> abort_retry j r t ~reason:"drop"
+        end
+      done;
     (* -- online detection: end-of-cycle tick confirms quiescent wait-for
           knots; only the policy-chosen victim is aborted, so the rest of
           the knot unwinds through the freed channels instead of being
@@ -1085,16 +1313,16 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
                  victims = dk.Obs_detect.dk_victims });
           List.iter
             (fun v ->
-              let vm = ref None in
-              Array.iter
-                (fun m -> if m.spec.Schedule.ms_label = v then vm := Some m)
-                marr;
-              match !vm with
-              | Some m when active m ->
+              let vm = ref (-1) in
+              for j = 0 to nmsg - 1 do
+                if label j = v then vm := j
+              done;
+              let j = !vm in
+              if j >= 0 && active j then begin
                 perturbed := true;
                 emit (Obs_event.Victim_aborted { cycle = t; label = v; policy = policy_name });
-                abort_retry m r t ~reason:"deadlock"
-              | Some _ | None -> ())
+                abort_retry j r t ~reason:"deadlock"
+              end)
             dk.Obs_detect.dk_victims)
         (Obs_detect.tick d ~now:t)
     | (Some _ | None), _ -> ());
@@ -1102,16 +1330,17 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
     | None -> ()
     | Some r ->
       let w = watchdog_of r in
-      Array.iter
-        (fun m ->
-          if active m then begin
-            if m.progressed || (m.injected = 0 && t < m.attempt_at) then m.last_progress <- t
-            else if t - m.last_progress >= w then begin
-              perturbed := true;
-              abort_retry m r t ~reason:"watchdog"
-            end
-          end)
-        marr);
+      for li = 0 to !nlive - 1 do
+        let j = live.(li) in
+        if active j then begin
+          if Bytes.unsafe_get progressed_ j <> '\000' || (injected_.(j) = 0 && t < attempt_.(j))
+          then last_progress_.(j) <- t
+          else if t - last_progress_.(j) >= w then begin
+            perturbed := true;
+            abort_retry j r t ~reason:"watchdog"
+          end
+        end
+      done);
     (* -- end of cycle: sanitizer, probe, termination checks -- *)
     sanitize t;
     (match probe with
@@ -1119,28 +1348,24 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
     | Some f ->
       let occupancy =
         let acc = ref [] in
-        Array.iter
-          (fun m ->
-            for i = 0 to m.plen - 1 do
-              if m.occ.(i) > 0 then
-                acc := (m.path.(i), m.spec.Schedule.ms_label, m.occ.(i)) :: !acc
-            done)
-          marr;
+        for j = 0 to nmsg - 1 do
+          for i = 0 to plen_.(j) - 1 do
+            if occ_.(j).(i) > 0 then acc := (path_.(j).(i), label j, occ_.(j).(i)) :: !acc
+          done
+        done;
         List.sort compare !acc
       in
       let waiting =
-        Array.to_list marr
-        |> List.filter_map (fun m ->
-               if m.delivered_at <> None then None
-               else
-                 match first_want m t with
-                 | Some c when m.head >= 0 && owner.(c) <> m.idx ->
-                   Some
-                     ( m.spec.Schedule.ms_label,
-                       c,
-                       if owner.(c) >= 0 then Some marr.(owner.(c)).spec.Schedule.ms_label
-                       else None )
-                 | Some _ | None -> None)
+        List.filter_map
+          (fun j ->
+            if delivered_at_.(j) >= 0 then None
+            else begin
+              let c = first_want_chan j t in
+              if c >= 0 && head_.(j) >= 0 && owner.(c) <> j then
+                Some (label j, c, if owner.(c) >= 0 then Some (label owner.(c)) else None)
+              else None
+            end)
+          (List.init nmsg (fun j -> j))
       in
       f { s_cycle = t; s_occupancy = occupancy; s_waiting = waiting; s_moved = !moved });
     if !finished = nmsg then
@@ -1150,49 +1375,50 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
            else All_delivered { finished_at = t; messages = results () })
     else if t >= config.max_cycles then outcome := Some (Cutoff { at = t; messages = results () })
     else if not !moved then begin
-      let future =
-        Array.exists
-          (fun m -> active m && ((m.injected = 0 && t < m.attempt_at) || m.hold > 0))
-          marr
-        (* with recovery on, any live message is future work: the watchdog
-           will eventually abort it, so nothing is permanently blocked *)
-        || (Option.is_some config.recovery && Array.exists active marr)
-        (* a stall window about to close or an unfired event can unblock *)
-        || Fault.change_after faults t
-      in
-      if not future then begin
+      scan_flag := false;
+      for j = 0 to nmsg - 1 do
+        if active j && ((injected_.(j) = 0 && t < attempt_.(j)) || hold_.(j) > 0) then
+          scan_flag := true
+      done;
+      (* with recovery on, any live message is future work: the watchdog
+         will eventually abort it, so nothing is permanently blocked *)
+      if Option.is_some config.recovery then
+        for j = 0 to nmsg - 1 do
+          if active j then scan_flag := true
+        done;
+      (* a stall window about to close or an unfired event can unblock *)
+      if Fault.change_after faults t then scan_flag := true;
+      if not !scan_flag then begin
         (* permanently blocked: build the witness *)
-        let label i = marr.(i).spec.Schedule.ms_label in
-        let wants m =
-          if oblivious then match wanted m with Some c -> [ c ] | None -> []
-          else current_options m t
+        let wants j =
+          if oblivious then (match wanted_chan j with -1 -> [] | c -> [ c ])
+          else options_list j t
         in
         let blocked =
-          Array.to_list marr
-          |> List.filter_map (fun m ->
-                 if m.delivered_at <> None then None
-                 else
-                   match wants m with
-                   | [] -> None
-                   | c :: _ as ws ->
-                     Some
-                       {
-                         b_label = m.spec.Schedule.ms_label;
-                         b_wants = ws;
-                         b_holder = (if owner.(c) >= 0 then Some (label owner.(c)) else None);
-                       })
+          List.filter_map
+            (fun j ->
+              if delivered_at_.(j) >= 0 then None
+              else
+                match wants j with
+                | [] -> None
+                | c :: _ as ws ->
+                  Some
+                    {
+                      b_label = label j;
+                      b_wants = ws;
+                      b_holder = (if owner.(c) >= 0 then Some (label owner.(c)) else None);
+                    })
+            (List.init nmsg (fun j -> j))
         in
         (* follow the wait-for edges (through the first option when
            adaptive) from any blocked message to find a cycle *)
         let wait_cycle =
           let next i =
-            match first_want marr.(i) t with
-            | Some c when owner.(c) >= 0 && owner.(c) <> i -> Some owner.(c)
-            | Some _ | None -> None
+            let c = first_want_chan i t in
+            if c >= 0 && owner.(c) >= 0 && owner.(c) <> i then Some owner.(c) else None
           in
           let start =
-            Array.to_list marr
-            |> List.filter_map (fun m -> if m.delivered_at = None then Some m.idx else None)
+            List.filter (fun j -> delivered_at_.(j) < 0) (List.init nmsg (fun j -> j))
           in
           let rec chase seen i =
             match next i with
@@ -1217,19 +1443,30 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
         in
         let occupancy =
           let acc = ref [] in
-          Array.iter
-            (fun m ->
-              for i = 0 to m.plen - 1 do
-                if m.occ.(i) > 0 then
-                  acc := (m.path.(i), m.spec.Schedule.ms_label, m.occ.(i)) :: !acc
-              done)
-            marr;
+          for j = 0 to nmsg - 1 do
+            for i = 0 to plen_.(j) - 1 do
+              if occ_.(j).(i) > 0 then acc := (path_.(j).(i), label j, occ_.(j).(i)) :: !acc
+            done
+          done;
           List.sort compare !acc
         in
         outcome :=
           Some (Deadlock { d_cycle = t; d_blocked = blocked; d_wait_cycle = wait_cycle;
                            d_occupancy = occupancy })
       end
+    end;
+    (* compact the live list only on cycles where something finished *)
+    if !finished <> !last_finished then begin
+      last_finished := !finished;
+      let w = ref 0 in
+      for i = 0 to !nlive - 1 do
+        let j = live.(i) in
+        if delivered_at_.(j) < 0 && fate_.(j) = f_live then begin
+          live.(!w) <- j;
+          incr w
+        end
+      done;
+      nlive := !w
     end;
     incr cycle
   done;
@@ -1244,7 +1481,6 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
     emit (Obs_event.Run_end { cycle = final; outcome = outcome_string o })
   end;
   o
-
 let pp_fate ppf = function
   | Delivered -> Format.pp_print_string ppf "delivered"
   | Dropped -> Format.pp_print_string ppf "dropped"

@@ -54,3 +54,18 @@ let union_into dst src =
   Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
 
 let hash t = Hashtbl.hash t.words
+
+(* Unchecked variants for hot loops that maintain their own bounds (the
+   simulator's struct-of-arrays kernel indexes by a validated message id
+   every cycle; re-checking the range there is pure overhead). *)
+let unsafe_mem t i =
+  Array.unsafe_get t.words (i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let unsafe_add t i =
+  let w = i / bits_per_word in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl (i mod bits_per_word)))
+
+let unsafe_remove t i =
+  let w = i / bits_per_word in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w land lnot (1 lsl (i mod bits_per_word)))

@@ -22,3 +22,14 @@ val union_into : t -> t -> unit
 (** [union_into dst src] adds all of [src] into [dst]; capacities must match. *)
 
 val hash : t -> int
+
+(** {2 Unchecked access}
+
+    Bounds-unchecked variants of {!mem}/{!add}/{!remove} for hot loops that
+    already guarantee [0 <= i < capacity t] (e.g. the simulator's
+    struct-of-arrays switching kernel, which indexes by validated message
+    ids every cycle).  Out-of-range indices are undefined behaviour. *)
+
+val unsafe_mem : t -> int -> bool
+val unsafe_add : t -> int -> unit
+val unsafe_remove : t -> int -> unit

@@ -13,7 +13,11 @@ failure (a renamed case must not silently escape the gate).  A gated
 case missing from the *baseline* is only reported: that is the expected
 state right after a new case lands, before the baseline is refreshed.
 Cases added or removed relative to the baseline are listed informationally
-so a stale baseline is visible in the CI log.
+so a stale baseline is visible in the CI log.  When both documents carry
+an "alloc" section (per-case GC minor/major word deltas), allocation
+growth beyond 10% is reported informationally as well -- allocation
+counts are exact, so the report has no noise threshold to fight, but
+machine-to-machine GC differences keep it out of the exit status.
 
 Usage:
     scripts/bench_gate.py BASELINE.json FRESH.json [--threshold 0.20]
@@ -28,6 +32,8 @@ GATED = [
     "wormhole/sweep/figure2-seq",
     "wormhole/sweep/figure2-parallel",
     "wormhole/sim/engine-hotpath",
+    "wormhole/sim/adaptive-hotpath",
+    "wormhole/sim/mesh8x8-uniform-300c",
     "wormhole/sim/detect-overhead",
 ]
 
@@ -44,7 +50,7 @@ def load(path):
 
 
 def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
+    args = []
     threshold = 0.20
     it = iter(argv[1:])
     for a in it:
@@ -53,6 +59,10 @@ def main(argv):
                 threshold = float(next(it))
             except (StopIteration, ValueError):
                 sys.exit("bench_gate: --threshold needs a float")
+        elif a.startswith("--"):
+            sys.exit(f"bench_gate: unknown option {a}")
+        else:
+            args.append(a)
     if len(args) != 2:
         sys.exit(__doc__.strip())
     base_doc, fresh_doc = load(args[0]), load(args[1])
@@ -93,6 +103,21 @@ def main(argv):
         print(f"info {name}: added since baseline ({fresh[name]:.0f} ns)")
     for name in removed:
         print(f"info {name}: removed since baseline")
+
+    # Allocation deltas (informational only): allocation counts are exact,
+    # so even a small growth is a real change in a case's setup cost --
+    # worth a line in the log, never an exit status.
+    base_alloc = base_doc.get("alloc", {})
+    fresh_alloc = fresh_doc.get("alloc", {})
+    for name in sorted(set(base_alloc) & set(fresh_alloc)):
+        for kind in ("minor_words", "major_words"):
+            b = base_alloc[name].get(kind)
+            f = fresh_alloc[name].get(kind)
+            if b and f is not None and f > b * 1.10:
+                print(
+                    f"info {name}: {kind} allocation up "
+                    f"{b:.0f} -> {f:.0f} words ({f / b - 1.0:+.1%})"
+                )
 
     if failures:
         print("\nbench_gate: regression over threshold:", file=sys.stderr)
