@@ -254,15 +254,40 @@ let finalize_obs ?rt ~topo ~post_mortem = function
       Format.printf "metrics written to %s@." path
     | None -> ())
 
-let run_oblivious topo rt sched config =
-  let out = Engine.run ~config rt sched in
+(* Counters-first telemetry for --stats-out: one preallocated accumulator
+   threaded through the run, rendered as Prometheus text (or JSON when the
+   file ends in .json) plus a summary table and utilization heatmap on
+   stdout.  Unlike --trace-out/--metrics-out this never arms the event
+   bus, so it also works on runs too hot to trace. *)
+let setup_stats topo = function
+  | None -> None
+  | Some path -> Some (Obs.Stats.create ~nchan:(Topology.num_channels topo), path)
+
+let stats_acc = function None -> None | Some (st, _) -> Some st
+
+let finalize_stats ~topo = function
+  | None -> ()
+  | Some (st, path) ->
+    let doc =
+      if Filename.check_suffix path ".json" then Obs.Stats.to_json ~topo st
+      else Obs.Stats.to_prometheus ~topo st
+    in
+    write_file path doc;
+    Format.printf "%s" (Obs.Stats.summary ~topo st);
+    (match Obs.Stats.heatmap ~topo st with
+    | "" -> ()
+    | hm -> Format.printf "%s" hm);
+    Format.printf "stats written to %s@." path
+
+let run_oblivious ?stats topo rt sched config =
+  let out = Engine.run ~config ?stats rt sched in
   Format.printf "%a@." (Engine.pp_outcome topo) out;
   let pm = match out with Engine.Deadlock _ | Engine.Recovered _ -> true | _ -> false in
   (Engine.is_deadlock out, pm)
 
 let main topology dims routing pattern rate length horizon permutation seed buffer faults_spec
     recovery_on retry_limit watchdog detect detect_bound victim_policy witness trace_out
-    metrics_out =
+    metrics_out stats_out =
   try
     let rng = Rng.create seed in
     match paper_net topology with
@@ -285,10 +310,14 @@ let main topology dims routing pattern rate length horizon permutation seed buff
         Format.printf "deadlock witness found after %d runs; replaying under observation@."
           runs;
         let obs = setup_obs trace_out metrics_out in
+        (* stats cover only the witness replay, not the sweep *)
+        let sctx = setup_stats net.Paper_nets.topo stats_out in
         let deadlocked, pm =
-          run_oblivious net.Paper_nets.topo rt w.Explorer.w_schedule w.Explorer.w_config
+          run_oblivious ?stats:(stats_acc sctx) net.Paper_nets.topo rt
+            w.Explorer.w_schedule w.Explorer.w_config
         in
         finalize_obs ~rt ~topo:net.Paper_nets.topo ~post_mortem:pm obs;
+        finalize_stats ~topo:net.Paper_nets.topo sctx;
         if deadlocked then exit 3)
     | Some net ->
       (* the paper's CD networks replay their designated messages *)
@@ -308,11 +337,13 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       Printf.printf "network=%s messages=%d\n" topology (List.length sched);
       if not (Fault.is_empty faults) then
         Format.printf "faults: %a@." (Fault.pp net.Paper_nets.topo) faults;
+      let sctx = setup_stats net.Paper_nets.topo stats_out in
       let deadlocked, pm =
-        run_oblivious net.Paper_nets.topo rt sched
+        run_oblivious ?stats:(stats_acc sctx) net.Paper_nets.topo rt sched
           { Engine.default_config with buffer_capacity = buffer; faults; recovery }
       in
       finalize_obs ~rt ~topo:net.Paper_nets.topo ~post_mortem:pm obs;
+      finalize_stats ~topo:net.Paper_nets.topo sctx;
       if deadlocked then exit 3
     | None ->
       if witness then failwith "--witness only applies to paper networks (figure1, figure2, ...)";
@@ -344,16 +375,18 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       let config =
         { Engine.default_config with buffer_capacity = buffer; faults; recovery }
       in
+      let sctx = setup_stats coords.Builders.topo stats_out in
       (match algo with
       | `Oblivious rt ->
-        let report = Measure.run ~config rt sched in
+        let report = Measure.run ~config ?stats:(stats_acc sctx) rt sched in
         Format.printf "%a@." Measure.pp report;
         finalize_obs ~rt ~topo:coords.Builders.topo
           ~post_mortem:(report.Measure.deadlocked || report.Measure.recovered)
           obs;
+        finalize_stats ~topo:coords.Builders.topo sctx;
         if report.Measure.deadlocked then exit 3
       | `Adaptive ad ->
-        let out = Adaptive_engine.run ~config ad sched in
+        let out = Adaptive_engine.run ~config ?stats:(stats_acc sctx) ad sched in
         (match out with
         | Adaptive_engine.All_delivered { finished_at; messages } ->
           Format.printf "%d/%d delivered in %d cycles (adaptive)@." (List.length messages)
@@ -367,6 +400,7 @@ let main topology dims routing pattern rate length horizon permutation seed buff
         (* adaptive: no oblivious routing function, so the post-mortem skips
            the CDG classification *)
         finalize_obs ~topo:coords.Builders.topo ~post_mortem:pm obs;
+        finalize_stats ~topo:coords.Builders.topo sctx;
         if Engine.is_deadlock out then exit 3)
   with Failure msg ->
     Printf.eprintf "wormsim: %s\n" msg;
@@ -460,6 +494,15 @@ let metrics_out_arg =
         ~doc:"fold the run's events into the standard wormhole_* metric families and write \
               them to $(docv) in Prometheus text format")
 
+let stats_out_arg =
+  Arg.(value & opt (some string) None
+    & info [ "stats-out" ] ~docv:"FILE"
+        ~doc:"thread a counters-first telemetry accumulator through the run (no event bus: \
+              the steady cycle stays allocation-free) and write wormhole_stats_* families \
+              to $(docv) in Prometheus text format (JSON when $(docv) ends in .json); a \
+              latency percentile summary and per-channel utilization heatmap print to \
+              stdout; with --witness, stats cover only the witness replay")
+
 let cmd =
   let doc = "simulate wormhole routing on a classic topology" in
   Cmd.v (Cmd.info "wormsim" ~doc)
@@ -467,6 +510,6 @@ let cmd =
       const main $ topo_arg $ dims_arg $ routing_arg $ pattern_arg $ rate_arg $ length_arg
       $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg $ faults_arg $ recovery_arg
       $ retry_limit_arg $ watchdog_arg $ detect_arg $ detect_bound_arg $ victim_policy_arg
-      $ witness_arg $ trace_out_arg $ metrics_out_arg)
+      $ witness_arg $ trace_out_arg $ metrics_out_arg $ stats_out_arg)
 
 let () = exit (Cmd.eval cmd)

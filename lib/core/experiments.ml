@@ -1290,3 +1290,139 @@ let summary_table rows =
     (fun r -> Table.add_row table [ r.x_id; r.x_claim; r.x_measured; (if r.x_ok then "yes" else "NO") ])
     rows;
   Table.render table
+
+(* ---- Latency telemetry report (run_experiments --latency) ---- *)
+
+let latency_report ?(quick = false) ppf =
+  header ppf
+    (Printf.sprintf "Latency (%s campaign, counters-first telemetry)"
+       (if quick then "quick" else "full"));
+  let mesh = Builders.mesh [ 8; 8 ] in
+  let mesh_rt = Dimension_order.mesh mesh in
+  let torus = Builders.torus [ 5; 5 ] in
+  let torus_rt = Dimension_order.torus torus in
+  let fig2 = Paper_nets.figure2 () in
+  let fig2_rt = Cd_algorithm.of_net fig2 in
+  let horizon = if quick then 300 else 1000 in
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5; 6 ] in
+  (* every workload is a list of independent runs, each filling a private
+     accumulator; the pool merges them in task-index order, so the whole
+     report is byte-identical at any --domains count *)
+  let merged nchan runs =
+    Wr_pool.map_reduce
+      ~map:(fun run ->
+        let st = Obs_stats.create ~nchan in
+        run st;
+        st)
+      ~reduce:(fun acc st ->
+        Obs_stats.merge ~into:acc st;
+        acc)
+      ~init:(Obs_stats.create ~nchan) runs
+  in
+  let bernoulli coords rt pattern_of seed st =
+    let rng = Rng.create seed in
+    let pattern = pattern_of rng in
+    let sched =
+      Traffic.bernoulli_schedule rng pattern ~coords ~rate:0.02 ~length:4 ~horizon
+    in
+    ignore (Engine.run ~stats:st rt sched)
+  in
+  let workloads =
+    [
+      ( "figure2-cd",
+        fig2.Paper_nets.topo,
+        merged
+          (Topology.num_channels fig2.Paper_nets.topo)
+          [
+            (fun st ->
+              let sched =
+                List.map
+                  (fun (it : Paper_nets.intent) ->
+                    Schedule.message ~length:4 it.i_label it.i_src it.i_dst)
+                  fig2.Paper_nets.intents
+              in
+              ignore (Engine.run ~stats:st fig2_rt sched));
+          ] );
+      ( "mesh8x8-xy-uniform",
+        mesh.Builders.topo,
+        merged
+          (Topology.num_channels mesh.Builders.topo)
+          (List.map
+             (fun seed -> bernoulli mesh mesh_rt (fun rng -> Traffic.uniform rng mesh) seed)
+             seeds) );
+      ( "mesh8x8-xy-transpose",
+        mesh.Builders.topo,
+        merged
+          (Topology.num_channels mesh.Builders.topo)
+          [ bernoulli mesh mesh_rt (fun _ -> Traffic.transpose mesh) 42 ] );
+      ( "torus5x5-ecube-tornado",
+        torus.Builders.topo,
+        merged
+          (Topology.num_channels torus.Builders.topo)
+          [
+            (fun st ->
+              let sched =
+                Traffic.permutation_schedule (Traffic.tornado torus) ~coords:torus
+                  ~length:8
+              in
+              ignore (Engine.run ~stats:st torus_rt sched));
+          ] );
+    ]
+  in
+  let pct st q =
+    if st.Obs_stats.st_delivered = 0 then "-"
+    else
+      let v = Obs_stats.percentile st q in
+      if v >= st.Obs_stats.st_lat_max then string_of_int st.Obs_stats.st_lat_max
+      else "<=" ^ string_of_int v
+  in
+  let table =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right ]
+      [ "workload"; "runs"; "delivered"; "p50"; "p90"; "p99"; "max"; "max util" ]
+  in
+  List.iter
+    (fun (name, _, st) ->
+      let max_util = ref 0.0 in
+      for c = 0 to st.Obs_stats.st_nchan - 1 do
+        let u = Obs_stats.utilization st c in
+        if u > !max_util then max_util := u
+      done;
+      Table.add_row table
+        [
+          name;
+          string_of_int st.Obs_stats.st_runs;
+          string_of_int st.Obs_stats.st_delivered;
+          pct st 50.0;
+          pct st 90.0;
+          pct st 99.0;
+          string_of_int st.Obs_stats.st_lat_max;
+          Printf.sprintf "%.1f%%" (!max_util *. 100.0);
+        ])
+    workloads;
+  Format.fprintf ppf "%s" (Table.render table);
+  Format.fprintf ppf "@\ntop head-of-line blocking channels:@\n";
+  let blocking =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "workload"; "channel"; "hol-cycles"; "wait-cycles" ]
+  in
+  let any = ref false in
+  List.iter
+    (fun (name, topo, st) ->
+      List.iter
+        (fun (c, hol) ->
+          any := true;
+          Table.add_row blocking
+            [
+              name;
+              Topology.channel_name topo c;
+              string_of_int hol;
+              string_of_int st.Obs_stats.st_waited.(c);
+            ])
+        (Obs_stats.top_blocking ~k:3 st))
+    workloads;
+  if !any then Format.fprintf ppf "%s" (Table.render blocking)
+  else Format.fprintf ppf "(no blocking recorded)@\n"

@@ -117,3 +117,13 @@ val all : ?quick:bool -> Format.formatter -> row list
 
 val summary_table : row list -> string
 (** Render rows as the EXPERIMENTS.md summary table. *)
+
+val latency_report : ?quick:bool -> Format.formatter -> unit
+(** The [run_experiments --latency] section: per-workload latency
+    percentiles (p50/p90/p99/max, as histogram upper bounds), delivery
+    counts, peak channel utilization and the top head-of-line blocking
+    channels, measured by threading an {!Obs_stats.t} through a fixed
+    deterministic workload set (the figure-2 designated messages, seeded
+    mesh-8x8 Bernoulli traffic, a transpose permutation and the torus
+    tornado).  Per-run accumulators merge in task-index order, so the
+    section is byte-identical at any [--domains] count. *)

@@ -10,6 +10,7 @@ module Metrics = Obs_metrics
 module Chrome = Obs_chrome
 module Timeline = Obs_timeline
 module Postmortem = Obs_postmortem
+module Stats = Obs_stats
 
 type sink = { emit : Obs_event.t -> unit }
 

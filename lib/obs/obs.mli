@@ -26,6 +26,10 @@ module Chrome = Obs_chrome
 module Timeline = Obs_timeline
 module Postmortem = Obs_postmortem
 
+module Stats = Obs_stats
+(** Counters-first telemetry accumulator — the cheap, allocation-free
+    alternative to arming the event bus.  See {!Obs_stats}. *)
+
 type sink = { emit : Obs_event.t -> unit }
 
 val install : sink -> unit

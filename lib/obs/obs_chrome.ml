@@ -172,5 +172,66 @@ let to_json ?topo events =
         ~dur:(max 0 (final_cycle - start))
         [ "\"delivered\":false" ])
     open_msgs;
+  (* Derived counter series: channels owned, messages in flight, messages
+     waiting — one "C" (counter) event per value change, so Perfetto draws
+     congestion as stepped area charts above the spans.  Derived in a
+     second pass over the stream (viewers order by ts, so appending after
+     the spans is fine). *)
+  let n_cycles = final_cycle + 1 in
+  let samp_owned = Array.make n_cycles (-1)
+  and samp_flight = Array.make n_cycles (-1)
+  and samp_wait = Array.make n_cycles (-1) in
+  let owned_now : (Topology.channel, unit) Hashtbl.t = Hashtbl.create 16 in
+  let flight_now : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let wait_now : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let enter tbl k = if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k () in
+  let sample samp cycle tbl =
+    if cycle >= 0 && cycle < n_cycles then samp.(cycle) <- Hashtbl.length tbl
+  in
+  List.iter
+    (fun (e : Obs_event.t) ->
+      match e with
+      | Channel_acquire { cycle; label; channel; _ } ->
+        enter owned_now channel;
+        sample samp_owned cycle owned_now;
+        (* an acquisition resolves the waiter's advertised edge *)
+        Hashtbl.remove wait_now label;
+        sample samp_wait cycle wait_now
+      | Channel_release { cycle; channel; _ } ->
+        Hashtbl.remove owned_now channel;
+        sample samp_owned cycle owned_now
+      | Flit { cycle; label; kind = Obs_event.Inject; _ } ->
+        enter flight_now label;
+        sample samp_flight cycle flight_now
+      | Delivered { cycle; label; _ }
+      | Abort { cycle; label; _ }
+      | Gave_up { cycle; label; _ } ->
+        Hashtbl.remove flight_now label;
+        sample samp_flight cycle flight_now;
+        Hashtbl.remove wait_now label;
+        sample samp_wait cycle wait_now
+      | Wait_add { cycle; label; _ } ->
+        enter wait_now label;
+        sample samp_wait cycle wait_now
+      | Wait_drop { cycle; label; _ } ->
+        Hashtbl.remove wait_now label;
+        sample samp_wait cycle wait_now
+      | _ -> ())
+    events;
+  let emit_series name samp =
+    let prev = ref (-1) in
+    for c = 0 to n_cycles - 1 do
+      if samp.(c) >= 0 && samp.(c) <> !prev then begin
+        prev := samp.(c);
+        add_obj
+          [ str "name" name; str "cat" "counter"; str "ph" "C"; num "pid" 0;
+            num "tid" 0; num "ts" c;
+            "\"args\":{\"value\":" ^ string_of_int samp.(c) ^ "}" ]
+      end
+    done
+  in
+  emit_series "channels owned" samp_owned;
+  emit_series "messages in flight" samp_flight;
+  emit_series "messages waiting" samp_wait;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf

@@ -11,6 +11,9 @@
     - pid 1 ("messages"): one thread per message label; a lifetime interval
       from first activity to delivery/abort/give-up (re-opened after a
       retry), plus instant events for deliveries, aborts and retries.
+    - counter series on pid 0: ["C"] events for channels owned, messages in
+      flight and messages waiting, one sample per value change, so viewers
+      draw congestion as stepped area charts above the spans.
 
     Cycles map 1:1 to trace microseconds. *)
 

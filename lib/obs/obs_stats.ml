@@ -1,0 +1,395 @@
+(* Counters-first telemetry accumulator.  See obs_stats.mli for the
+   contract; the short version is: every field is a plain int (or int
+   array) the kernel bumps with direct stores, allocation happens only in
+   [create], and determinism comes from merging per-run accumulators in
+   canonical task-index order rather than sharing state across domains. *)
+
+type t = {
+  st_nchan : int;
+  st_owned : int array;
+  st_busy : int array;
+  st_acquired : int array;
+  st_waited : int array;
+  st_hol : int array;
+  st_lat_counts : int array;
+  mutable st_lat_sum : int;
+  mutable st_lat_max : int;
+  mutable st_delivered : int;
+  mutable st_blocked : int;
+  mutable st_runs : int;
+  mutable st_cycles : int;
+  mutable st_ph_arb : int;
+  mutable st_ph_claim : int;
+  mutable st_ph_advance : int;
+  mutable st_ph_fault : int;
+  mutable st_ph_detect : int;
+}
+
+let lat_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 |]
+let n_buckets = Array.length lat_bounds
+
+let create ~nchan =
+  {
+    st_nchan = nchan;
+    st_owned = Array.make (max nchan 1) 0;
+    st_busy = Array.make (max nchan 1) 0;
+    st_acquired = Array.make (max nchan 1) 0;
+    st_waited = Array.make (max nchan 1) 0;
+    st_hol = Array.make (max nchan 1) 0;
+    st_lat_counts = Array.make (n_buckets + 1) 0;
+    st_lat_sum = 0;
+    st_lat_max = 0;
+    st_delivered = 0;
+    st_blocked = 0;
+    st_runs = 0;
+    st_cycles = 0;
+    st_ph_arb = 0;
+    st_ph_claim = 0;
+    st_ph_advance = 0;
+    st_ph_fault = 0;
+    st_ph_detect = 0;
+  }
+
+let reset t =
+  Array.fill t.st_owned 0 (Array.length t.st_owned) 0;
+  Array.fill t.st_busy 0 (Array.length t.st_busy) 0;
+  Array.fill t.st_acquired 0 (Array.length t.st_acquired) 0;
+  Array.fill t.st_waited 0 (Array.length t.st_waited) 0;
+  Array.fill t.st_hol 0 (Array.length t.st_hol) 0;
+  Array.fill t.st_lat_counts 0 (n_buckets + 1) 0;
+  t.st_lat_sum <- 0;
+  t.st_lat_max <- 0;
+  t.st_delivered <- 0;
+  t.st_blocked <- 0;
+  t.st_runs <- 0;
+  t.st_cycles <- 0;
+  t.st_ph_arb <- 0;
+  t.st_ph_claim <- 0;
+  t.st_ph_advance <- 0;
+  t.st_ph_fault <- 0;
+  t.st_ph_detect <- 0
+
+let merge ~into src =
+  if into.st_nchan <> src.st_nchan then
+    invalid_arg
+      (Printf.sprintf "Obs_stats.merge: nchan mismatch (%d vs %d)"
+         into.st_nchan src.st_nchan);
+  let add dst s =
+    for i = 0 to into.st_nchan - 1 do
+      dst.(i) <- dst.(i) + s.(i)
+    done
+  in
+  add into.st_owned src.st_owned;
+  add into.st_busy src.st_busy;
+  add into.st_acquired src.st_acquired;
+  add into.st_waited src.st_waited;
+  add into.st_hol src.st_hol;
+  for i = 0 to n_buckets do
+    into.st_lat_counts.(i) <- into.st_lat_counts.(i) + src.st_lat_counts.(i)
+  done;
+  into.st_lat_sum <- into.st_lat_sum + src.st_lat_sum;
+  into.st_lat_max <- max into.st_lat_max src.st_lat_max;
+  into.st_delivered <- into.st_delivered + src.st_delivered;
+  into.st_blocked <- into.st_blocked + src.st_blocked;
+  into.st_runs <- into.st_runs + src.st_runs;
+  into.st_cycles <- into.st_cycles + src.st_cycles;
+  into.st_ph_arb <- into.st_ph_arb + src.st_ph_arb;
+  into.st_ph_claim <- into.st_ph_claim + src.st_ph_claim;
+  into.st_ph_advance <- into.st_ph_advance + src.st_ph_advance;
+  into.st_ph_fault <- into.st_ph_fault + src.st_ph_fault;
+  into.st_ph_detect <- into.st_ph_detect + src.st_ph_detect
+
+let none = create ~nchan:0
+
+let observe_latency t lat =
+  t.st_delivered <- t.st_delivered + 1;
+  t.st_lat_sum <- t.st_lat_sum + lat;
+  if lat > t.st_lat_max then t.st_lat_max <- lat;
+  (* linear walk: 13 bounds, delivery is a cold event next to the cycle
+     sweeps, and the walk allocates nothing *)
+  let i = ref 0 in
+  while !i < n_buckets && lat > lat_bounds.(!i) do
+    incr i
+  done;
+  t.st_lat_counts.(!i) <- t.st_lat_counts.(!i) + 1
+
+(* -- process-wide arming ---------------------------------------------- *)
+
+let armed_flag = Atomic.make false
+let armed_runs = Atomic.make 0
+let armed_cycles = Atomic.make 0
+let armed_delivered = Atomic.make 0
+let armed_blocked = Atomic.make 0
+let armed_lat_sum = Atomic.make 0
+
+let arm () = Atomic.set armed_flag true
+let disarm () = Atomic.set armed_flag false
+let armed () = Atomic.get armed_flag
+
+let fold_armed t =
+  ignore (Atomic.fetch_and_add armed_runs t.st_runs);
+  ignore (Atomic.fetch_and_add armed_cycles t.st_cycles);
+  ignore (Atomic.fetch_and_add armed_delivered t.st_delivered);
+  ignore (Atomic.fetch_and_add armed_blocked t.st_blocked);
+  ignore (Atomic.fetch_and_add armed_lat_sum t.st_lat_sum)
+
+let armed_totals () =
+  [
+    ("runs", Atomic.get armed_runs);
+    ("cycles", Atomic.get armed_cycles);
+    ("delivered", Atomic.get armed_delivered);
+    ("blocked_cycles", Atomic.get armed_blocked);
+    ("latency_sum", Atomic.get armed_lat_sum);
+  ]
+
+(* -- derived quantities ------------------------------------------------ *)
+
+let utilization t c =
+  if t.st_cycles = 0 then 0.0
+  else float_of_int t.st_busy.(c) /. float_of_int t.st_cycles
+
+let percentile t q =
+  if t.st_delivered = 0 then 0
+  else begin
+    (* smallest bound whose cumulative count covers q% of deliveries;
+       ceil so p100 always lands on a populated bucket *)
+    let target =
+      let n = float_of_int t.st_delivered *. q /. 100.0 in
+      max 1 (int_of_float (ceil n))
+    in
+    let cum = ref 0 and i = ref 0 in
+    while !i < n_buckets && !cum + t.st_lat_counts.(!i) < target do
+      cum := !cum + t.st_lat_counts.(!i);
+      incr i
+    done;
+    if !i < n_buckets then lat_bounds.(!i) else t.st_lat_max
+  end
+
+let top_blocking ?(k = 3) t =
+  let all = ref [] in
+  for c = t.st_nchan - 1 downto 0 do
+    if t.st_hol.(c) > 0 then all := (c, t.st_hol.(c)) :: !all
+  done;
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare b a) !all
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+(* -- renderers --------------------------------------------------------- *)
+
+let chan_name topo c =
+  match topo with
+  | Some t -> Topology.channel_name t c
+  | None -> Printf.sprintf "channel#%d" c
+
+(* a channel earns a row/series once any of its counters is nonzero; the
+   predicate is a pure function of accumulator values, so the filtered
+   output stays byte-deterministic *)
+let active t c =
+  t.st_owned.(c) > 0 || t.st_busy.(c) > 0 || t.st_acquired.(c) > 0
+  || t.st_waited.(c) > 0
+  || t.st_hol.(c) > 0
+
+let to_prometheus ?topo t =
+  let buf = Buffer.create 4096 in
+  let family name kind help value_of =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind);
+    for c = 0 to t.st_nchan - 1 do
+      if active t c then
+        Buffer.add_string buf
+          (Printf.sprintf "%s{channel=\"%s\"} %d\n" name
+             (Diagnostic.json_escape (chan_name topo c))
+             (value_of c))
+    done
+  in
+  let scalar name kind help v =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind);
+    Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
+  in
+  (* families in name order, matching Obs_metrics's sorted rendering *)
+  family "wormhole_stats_channel_acquisitions_total" "counter"
+    "successful channel acquisitions (awards/claims)" (fun c ->
+      t.st_acquired.(c));
+  family "wormhole_stats_channel_busy_cycles_total" "counter"
+    "cycles the channel held at least one buffered flit" (fun c ->
+      t.st_busy.(c));
+  family "wormhole_stats_channel_hol_blocked_cycles_total" "counter"
+    "waiter-cycles attributed to the channel as head of the wait chain"
+    (fun c -> t.st_hol.(c));
+  family "wormhole_stats_channel_owned_cycles_total" "counter"
+    "cycles the channel was owned by some message" (fun c -> t.st_owned.(c));
+  family "wormhole_stats_channel_wait_cycles_total" "counter"
+    "waiter-cycles spent blocked on the channel" (fun c -> t.st_waited.(c));
+  scalar "wormhole_stats_cycles_total" "counter" "kernel cycles accumulated"
+    t.st_cycles;
+  scalar "wormhole_stats_delivered_total" "counter" "messages delivered"
+    t.st_delivered;
+  Buffer.add_string buf
+    "# HELP wormhole_stats_latency_cycles injection-to-delivery latency\n";
+  Buffer.add_string buf "# TYPE wormhole_stats_latency_cycles histogram\n";
+  let cum = ref 0 in
+  for i = 0 to n_buckets - 1 do
+    cum := !cum + t.st_lat_counts.(i);
+    Buffer.add_string buf
+      (Printf.sprintf "wormhole_stats_latency_cycles_bucket{le=\"%d\"} %d\n"
+         lat_bounds.(i) !cum)
+  done;
+  cum := !cum + t.st_lat_counts.(n_buckets);
+  Buffer.add_string buf
+    (Printf.sprintf "wormhole_stats_latency_cycles_bucket{le=\"+Inf\"} %d\n"
+       !cum);
+  Buffer.add_string buf
+    (Printf.sprintf "wormhole_stats_latency_cycles_sum %d\n" t.st_lat_sum);
+  Buffer.add_string buf
+    (Printf.sprintf "wormhole_stats_latency_cycles_count %d\n" t.st_delivered);
+  Buffer.add_string buf
+    "# HELP wormhole_stats_phase_work_total per-phase message visits\n";
+  Buffer.add_string buf "# TYPE wormhole_stats_phase_work_total counter\n";
+  List.iter
+    (fun (phase, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "wormhole_stats_phase_work_total{phase=\"%s\"} %d\n"
+           phase v))
+    [
+      ("advance", t.st_ph_advance);
+      ("arbitration", t.st_ph_arb);
+      ("claims", t.st_ph_claim);
+      ("detect", t.st_ph_detect);
+      ("fault", t.st_ph_fault);
+    ];
+  scalar "wormhole_stats_runs_total" "counter" "simulator runs accumulated"
+    t.st_runs;
+  Buffer.contents buf
+
+let to_json ?topo t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"wormhole-stats/1\"";
+  Buffer.add_string buf
+    (Printf.sprintf ",\"nchan\":%d,\"runs\":%d,\"cycles\":%d" t.st_nchan
+       t.st_runs t.st_cycles);
+  Buffer.add_string buf
+    (Printf.sprintf ",\"delivered\":%d,\"blocked_cycles\":%d" t.st_delivered
+       t.st_blocked);
+  Buffer.add_string buf ",\"latency\":{\"buckets\":[";
+  for i = 0 to n_buckets - 1 do
+    if i > 0 then Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (Printf.sprintf "{\"le\":%d,\"count\":%d}" lat_bounds.(i)
+         t.st_lat_counts.(i))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"overflow\":%d,\"sum\":%d,\"max\":%d}"
+       t.st_lat_counts.(n_buckets) t.st_lat_sum t.st_lat_max);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"phases\":{\"arbitration\":%d,\"claims\":%d,\"advance\":%d,\"fault\":%d,\"detect\":%d}"
+       t.st_ph_arb t.st_ph_claim t.st_ph_advance t.st_ph_fault t.st_ph_detect);
+  Buffer.add_string buf ",\"channels\":[";
+  let first = ref true in
+  for c = 0 to t.st_nchan - 1 do
+    if active t c then begin
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":%d,\"name\":\"%s\",\"owned\":%d,\"busy\":%d,\"acquired\":%d,\"wait\":%d,\"hol\":%d}"
+           c
+           (Diagnostic.json_escape (chan_name topo c))
+           t.st_owned.(c) t.st_busy.(c) t.st_acquired.(c) t.st_waited.(c)
+           t.st_hol.(c))
+    end
+  done;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let heatmap ?(width = 40) ?topo t =
+  let actives = ref [] in
+  for c = t.st_nchan - 1 downto 0 do
+    if active t c then actives := c :: !actives
+  done;
+  match !actives with
+  | [] -> ""
+  | channels ->
+      let name_width =
+        List.fold_left
+          (fun w c -> max w (String.length (chan_name topo c)))
+          7 channels
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %5s  %s  %6s %6s %6s\n" name_width "channel"
+           "util" (String.make width ' ') "acq" "wait" "hol");
+      List.iter
+        (fun c ->
+          let u = utilization t c in
+          let filled =
+            (* ceil so any nonzero utilization shows at least one mark *)
+            min width (int_of_float (ceil (u *. float_of_int width)))
+          in
+          let bar =
+            String.make filled '#' ^ String.make (width - filled) '.'
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s  %4.0f%%  %s  %6d %6d %6d\n" name_width
+               (chan_name topo c) (u *. 100.0) bar t.st_acquired.(c)
+               t.st_waited.(c) t.st_hol.(c)))
+        channels;
+      Buffer.contents buf
+
+let summary ?(top = 3) ?topo t =
+  let buf = Buffer.create 512 in
+  let tbl = Table.create ~aligns:[ Table.Left; Table.Right ] [ "metric"; "value" ] in
+  let pct q =
+    if t.st_delivered = 0 then "-"
+    else
+      let v = percentile t q in
+      (* a bucket bound at or above the observed max collapses to the
+         exact max; anything else is the bucket's upper bound *)
+      if v >= t.st_lat_max then string_of_int t.st_lat_max
+      else "<=" ^ string_of_int v
+  in
+  Table.add_row tbl [ "runs"; string_of_int t.st_runs ];
+  Table.add_row tbl [ "cycles"; string_of_int t.st_cycles ];
+  Table.add_row tbl [ "delivered"; string_of_int t.st_delivered ];
+  Table.add_row tbl [ "p50 latency (cycles)"; pct 50.0 ];
+  Table.add_row tbl [ "p90 latency (cycles)"; pct 90.0 ];
+  Table.add_row tbl [ "p99 latency (cycles)"; pct 99.0 ];
+  Table.add_row tbl [ "max latency (cycles)"; string_of_int t.st_lat_max ];
+  let max_util = ref 0.0 and max_util_c = ref (-1) in
+  for c = 0 to t.st_nchan - 1 do
+    let u = utilization t c in
+    if u > !max_util then begin
+      max_util := u;
+      max_util_c := c
+    end
+  done;
+  Table.add_row tbl
+    [
+      "max channel util";
+      (if !max_util_c < 0 then "-"
+       else
+         Printf.sprintf "%.1f%% (%s)" (!max_util *. 100.0)
+           (chan_name topo !max_util_c));
+    ];
+  Table.add_row tbl [ "blocked cycles"; string_of_int t.st_blocked ];
+  Buffer.add_string buf (Table.render tbl);
+  Buffer.add_char buf '\n';
+  (match top_blocking ~k:top t with
+  | [] -> Buffer.add_string buf "no head-of-line blocking recorded\n"
+  | tops ->
+      let bt =
+        Table.create
+          ~aligns:[ Table.Left; Table.Right; Table.Right ]
+          [ "blocking channel"; "hol-cycles"; "wait-cycles" ]
+      in
+      List.iter
+        (fun (c, hol) ->
+          Table.add_row bt
+            [
+              chan_name topo c; string_of_int hol; string_of_int t.st_waited.(c);
+            ])
+        tops;
+      Buffer.add_string buf (Table.render bt));
+  Buffer.contents buf

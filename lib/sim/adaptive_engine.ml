@@ -11,8 +11,8 @@ type outcome = Switch_core.outcome =
       stats : Engine.retry_stat list;
     }
 
-let run ?config ?sanitizer ?obs ad sched =
-  Switch_core.run ?config ?sanitizer ?obs (Switch_core.Adaptive ad) sched
+let run ?config ?sanitizer ?obs ?stats ad sched =
+  Switch_core.run ?config ?sanitizer ?obs ?stats (Switch_core.Adaptive ad) sched
 
 let is_deadlock = Switch_core.is_deadlock
 let outcome_string = Switch_core.outcome_string

@@ -36,10 +36,15 @@ val run :
   ?config:Engine.config ->
   ?sanitizer:Sanitizer.t ->
   ?obs:Obs.sink ->
+  ?stats:Obs_stats.t ->
   Adaptive.t ->
   Schedule.t ->
   outcome
 (** [run ad sched] is [Switch_core.run (Adaptive ad) sched].
+
+    [stats] accumulates counters-first telemetry exactly as in
+    {!Engine.run}; a blocked header's wait/HoL attribution follows its
+    advertised first-option edge.
 
     [sanitizer] behaves exactly as in {!Engine.run} (per-cycle invariant
     checks E101-E105, falling back to the installed process-wide sanitizer).

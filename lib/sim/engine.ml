@@ -73,8 +73,8 @@ type snapshot = Switch_core.snapshot = {
   s_moved : bool;
 }
 
-let run ?config ?probe ?sanitizer ?obs rt sched =
-  Switch_core.run ?config ?probe ?sanitizer ?obs (Switch_core.Oblivious rt) sched
+let run ?config ?probe ?sanitizer ?obs ?stats rt sched =
+  Switch_core.run ?config ?probe ?sanitizer ?obs ?stats (Switch_core.Oblivious rt) sched
 
 let is_deadlock = Switch_core.is_deadlock
 let run_count = Switch_core.run_count

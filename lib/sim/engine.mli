@@ -165,6 +165,7 @@ val run :
   ?probe:(snapshot -> unit) ->
   ?sanitizer:Sanitizer.t ->
   ?obs:Obs.sink ->
+  ?stats:Obs_stats.t ->
   Routing.t ->
   Schedule.t ->
   outcome
@@ -172,6 +173,11 @@ val run :
     every message is delivered (or, under faults/recovery, dropped or
     abandoned), the network is permanently blocked, or the cycle cutoff
     fires.
+
+    [stats] accumulates counters-first telemetry (channel utilization,
+    latency histogram, blocking attribution, phase work) into a
+    preallocated {!Obs_stats.t} with plain int stores; see
+    {!Switch_core.run} for the arming and determinism contract.
 
     [obs] attaches a structured-event sink for this run (falling back to the
     process-wide {!Obs.install}ed one): run start/end, channel

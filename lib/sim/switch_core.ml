@@ -135,7 +135,7 @@ let outcome_string = function
   | Deadlock _ -> "deadlock"
   | Cutoff _ -> "cutoff"
   | Recovered _ -> "recovered"
-let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
+let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
   let oblivious = match policy with Oblivious _ -> true | Adaptive _ -> false in
   let caller = if oblivious then "Engine.run: " else "Adaptive_engine.run: " in
   let inv msg = invalid_arg (caller ^ msg) in
@@ -244,6 +244,27 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
       (Fault.events config.faults)
   end;
   let have_faults = not (Fault.is_empty config.faults) in
+  (* -- telemetry: hoist the stats accumulator once per run.  An explicit
+        [?stats] wins; otherwise an armed process ({!Obs_stats.arm}) gets a
+        private accumulator whose scalar totals fold into the global armed
+        counters at run end.  Every accumulation site is guarded by
+        [stats_on], so a disarmed run pays one [Atomic.get] here plus a
+        never-taken branch per site -- and like the event bus, stats are
+        pure observation (QCheck-checked in test_stats). -- *)
+  let stats_auto =
+    match stats with None -> Obs_stats.armed () | Some _ -> false
+  in
+  let st =
+    match stats with
+    | Some st -> st
+    | None -> if stats_auto then Obs_stats.create ~nchan else Obs_stats.none
+  in
+  let stats_on = stats_auto || (match stats with Some _ -> true | None -> false) in
+  if stats_on then begin
+    if st.Obs_stats.st_nchan <> nchan then
+      inv "stats accumulator sized for a different topology";
+    st.Obs_stats.st_runs <- st.Obs_stats.st_runs + 1
+  end;
   (* ---- flat message state (see the struct-of-arrays note above) ---- *)
   let specs = Array.of_list sched in
   let nmsg = Array.length specs in
@@ -850,6 +871,9 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
            { cycle = t; label = label j; channel = last; kind = Obs_event.Consume });
     if consumed_.(j) = len_.(j) then begin
       delivered_at_.(j) <- t;
+      if stats_on then
+        Obs_stats.observe_latency st
+          (if injected_at_.(j) >= 0 then t - injected_at_.(j) else t);
       if obs_on then
         emit
           (Obs_event.Delivered
@@ -964,6 +988,8 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
         if owner.(c) = -1 && cand_j.(c) >= 0 then begin
           let j = cand_j.(c) in
           owner.(c) <- j;
+          if stats_on then
+            st.Obs_stats.st_acquired.(c) <- st.Obs_stats.st_acquired.(c) + 1;
           if obs_on then
             emit
               (Obs_event.Channel_acquire
@@ -1030,6 +1056,8 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
         if c >= 0 then begin
           awarded_.(j) <- c;
           owner.(c) <- j;
+          if stats_on then
+            st.Obs_stats.st_acquired.(c) <- st.Obs_stats.st_acquired.(c) + 1;
           if obs_on then
             emit
               (Obs_event.Channel_acquire
@@ -1341,6 +1369,69 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
           end
         end
       done);
+    (* -- telemetry accumulation: plain int stores into the preallocated
+          accumulator.  The head-of-line walk reuses the kernel's per-run
+          scratch cursors ([scan_found]/[ins_b]/[scan_flag] are free at end
+          of cycle), so a stats-armed steady cycle allocates nothing. -- *)
+    if stats_on then begin
+      st.Obs_stats.st_cycles <- st.Obs_stats.st_cycles + 1;
+      if oblivious then st.Obs_stats.st_ph_arb <- st.Obs_stats.st_ph_arb + nact
+      else st.Obs_stats.st_ph_claim <- st.Obs_stats.st_ph_claim + !claim_count;
+      st.Obs_stats.st_ph_advance <- st.Obs_stats.st_ph_advance + nact;
+      if have_faults then
+        st.Obs_stats.st_ph_fault <- st.Obs_stats.st_ph_fault + !nlive;
+      (match det with
+      | Some _ -> st.Obs_stats.st_ph_detect <- st.Obs_stats.st_ph_detect + 1
+      | None -> ());
+      let owned = st.Obs_stats.st_owned in
+      for c = 0 to nchan - 1 do
+        if owner.(c) >= 0 then owned.(c) <- owned.(c) + 1
+      done;
+      (* the scans stop at [nact]: positions beyond it are still-sleeping
+         sources with no flits in flight and no advertised edge, so they
+         cannot contribute to any counter (compaction runs later, so the
+         prefix is still exactly the one arbitration used) *)
+      let busy = st.Obs_stats.st_busy in
+      for li = 0 to nact - 1 do
+        let j = live.(li) in
+        let path = path_.(j) and occ = occ_.(j) in
+        let hi = min head_.(j) (plen_.(j) - 1) in
+        for i = released_.(j) to hi do
+          if occ.(i) > 0 then busy.(path.(i)) <- busy.(path.(i)) + 1
+        done
+      done;
+      let waited = st.Obs_stats.st_waited and hol = st.Obs_stats.st_hol in
+      for li = 0 to nact - 1 do
+        let j = live.(li) in
+        let e = if oblivious then waiting_.(j) else wait_edge_.(j) in
+        if e >= 0 then begin
+          waited.(e) <- waited.(e) + 1;
+          st.Obs_stats.st_blocked <- st.Obs_stats.st_blocked + 1;
+          (* head-of-line attribution: follow wanted channel -> owner ->
+             its wanted channel to the head of the chain and charge that
+             channel.  The step cap bounds walks around deadlock knots;
+             a self-loop (owner waiting on its own channel cannot happen,
+             but an owner advertising the same edge can under adaptive
+             carving) stops immediately. *)
+          scan_found := e;
+          ins_b := 0;
+          scan_flag := true;
+          while !scan_flag && !ins_b < nmsg do
+            let o = owner.(!scan_found) in
+            if o < 0 then scan_flag := false
+            else begin
+              let e' = if oblivious then waiting_.(o) else wait_edge_.(o) in
+              if e' < 0 || e' = !scan_found then scan_flag := false
+              else begin
+                scan_found := e';
+                incr ins_b
+              end
+            end
+          done;
+          hol.(!scan_found) <- hol.(!scan_found) + 1
+        end
+      done
+    end;
     (* -- end of cycle: sanitizer, probe, termination checks -- *)
     sanitize t;
     (match probe with
@@ -1471,6 +1562,7 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs policy sched =
     incr cycle
   done;
   let o = match !outcome with Some o -> o | None -> assert false in
+  if stats_auto then Obs_stats.fold_armed st;
   if obs_on then begin
     let final =
       match o with

@@ -175,6 +175,7 @@ val run :
   ?probe:(snapshot -> unit) ->
   ?sanitizer:Sanitizer.t ->
   ?obs:Obs.sink ->
+  ?stats:Obs_stats.t ->
   policy ->
   Schedule.t ->
   outcome
@@ -182,6 +183,16 @@ val run :
     dropped or abandoned), the network is permanently blocked, or the cycle
     cutoff fires.  Deterministic: a run is a pure function of
     (policy, schedule, config).
+
+    [stats] accumulates counters-first telemetry into a preallocated
+    {!Obs_stats.t} (per-channel utilization and blocking, latency histogram,
+    per-phase work) with plain int stores -- the steady cycle allocates
+    nothing even with stats on.  Without [stats], a process armed via
+    {!Obs_stats.arm} gets a private per-run accumulator whose scalar totals
+    fold into {!Obs_stats.armed_totals}; otherwise the stats path costs one
+    atomic read per run.  Like [obs], stats are pure observation.
+    @raise Invalid_argument when [stats] is sized for a different channel
+    count than the policy's topology.
 
     [obs] attaches a structured-event sink for this run (falling back to the
     process-wide {!Obs.install}ed one); the [Run_start] event reports the

@@ -212,6 +212,11 @@ let map ?domains f l =
   | [ x ] -> [ f x ]
   | l -> Array.to_list (mapi_array ?domains (fun _ x -> f x) (Array.of_list l))
 
+let map_reduce ?domains ~map:f ~reduce ~init l =
+  (* the parallel map already yields results in task-index order, so a
+     sequential left fold over it IS the canonical reduction *)
+  List.fold_left reduce init (map ?domains f l)
+
 let find_mapi ?domains f arr =
   let res =
     map_until ?domains

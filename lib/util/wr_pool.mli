@@ -47,6 +47,20 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 val mapi_array : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Array/indexed variant of {!map}. *)
 
+val map_reduce :
+  ?domains:int ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [map_reduce ~map ~reduce ~init l] = [List.fold_left reduce init
+    (List.map map l)], with the map fanned out on up to [domains] domains
+    and the fold applied sequentially in task-index order — the canonical
+    reduction that keeps accumulator merges (e.g. {!Obs_stats.merge})
+    byte-identical at any domain count.  [reduce] runs on the calling
+    domain only, so it may freely mutate [init]. *)
+
 val map_until :
   ?domains:int ->
   hit:('b -> bool) ->

@@ -19,8 +19,17 @@ growth beyond 10% is reported informationally as well -- allocation
 counts are exact, so the report has no noise threshold to fight, but
 machine-to-machine GC differences keep it out of the exit status.
 
+With --alloc-threshold the allocation report becomes a hard gate for the
+zero-allocation kernel cases (ALLOC_GATED): minor-word growth beyond the
+given fraction fails the run.  Those cases' steady cycles allocate
+nothing by construction, so their deltas are pure per-run setup cost --
+deterministic on a single machine, which is what makes a hard gate
+sound where the general alloc report is not.  Major words stay
+informational even for gated cases (promotion depends on GC pacing).
+
 Usage:
     scripts/bench_gate.py BASELINE.json FRESH.json [--threshold 0.20]
+        [--alloc-threshold 0.10]
 
 Exit status: 0 within threshold, 1 regression, 2 usage/schema error.
 """
@@ -35,6 +44,17 @@ GATED = [
     "wormhole/sim/adaptive-hotpath",
     "wormhole/sim/mesh8x8-uniform-300c",
     "wormhole/sim/detect-overhead",
+    "wormhole/sim/stats-overhead",
+]
+
+# Cases whose steady cycle is allocation-free by construction: their GC
+# deltas are deterministic per-run setup cost, so --alloc-threshold can
+# gate them hard without fighting noise.  (Alloc-section keys carry no
+# "wormhole/" group prefix -- they come from the case list, not bechamel.)
+ALLOC_GATED = [
+    "sim/engine-hotpath",
+    "sim/adaptive-hotpath",
+    "sim/mesh8x8-uniform-300c",
 ]
 
 
@@ -52,6 +72,7 @@ def load(path):
 def main(argv):
     args = []
     threshold = 0.20
+    alloc_threshold = None
     it = iter(argv[1:])
     for a in it:
         if a == "--threshold":
@@ -59,6 +80,11 @@ def main(argv):
                 threshold = float(next(it))
             except (StopIteration, ValueError):
                 sys.exit("bench_gate: --threshold needs a float")
+        elif a == "--alloc-threshold":
+            try:
+                alloc_threshold = float(next(it))
+            except (StopIteration, ValueError):
+                sys.exit("bench_gate: --alloc-threshold needs a float")
         elif a.startswith("--"):
             sys.exit(f"bench_gate: unknown option {a}")
         else:
@@ -104,20 +130,44 @@ def main(argv):
     for name in removed:
         print(f"info {name}: removed since baseline")
 
-    # Allocation deltas (informational only): allocation counts are exact,
-    # so even a small growth is a real change in a case's setup cost --
-    # worth a line in the log, never an exit status.
+    # Allocation deltas: informational by default; with --alloc-threshold
+    # the ALLOC_GATED kernel cases' minor-word growth becomes a failure.
     base_alloc = base_doc.get("alloc", {})
     fresh_alloc = fresh_doc.get("alloc", {})
+    alloc_gated_compared = 0
     for name in sorted(set(base_alloc) & set(fresh_alloc)):
+        hard = alloc_threshold is not None and name in ALLOC_GATED
+        if hard:
+            alloc_gated_compared += 1
         for kind in ("minor_words", "major_words"):
             b = base_alloc[name].get(kind)
             f = fresh_alloc[name].get(kind)
-            if b and f is not None and f > b * 1.10:
+            if b is None or f is None:
+                continue
+            if hard and kind == "minor_words" and b and f > b * (1.0 + alloc_threshold):
+                print(
+                    f"FAIL {name}: {kind} allocation up "
+                    f"{b:.0f} -> {f:.0f} words ({f / b - 1.0:+.1%})"
+                )
+                failures.append(
+                    f"{name}: {kind} {f / b - 1.0:.1%} more allocation "
+                    f"(alloc threshold {alloc_threshold:.0%})"
+                )
+            elif b and f > b * 1.10:
                 print(
                     f"info {name}: {kind} allocation up "
                     f"{b:.0f} -> {f:.0f} words ({f / b - 1.0:+.1%})"
                 )
+    if alloc_threshold is not None:
+        missing = [n for n in ALLOC_GATED if n in base_alloc and n not in fresh_alloc]
+        for name in missing:
+            failures.append(f"{name}: alloc entry missing from fresh run")
+        print(
+            f"alloc gate: {alloc_gated_compared} kernel cases within "
+            f"{alloc_threshold:.0%} minor-word growth"
+            if not any("allocation" in f or "alloc entry" in f for f in failures)
+            else "alloc gate: FAILED"
+        )
 
     if failures:
         print("\nbench_gate: regression over threshold:", file=sys.stderr)

@@ -256,7 +256,19 @@ let scan_codes_in_file path =
   done;
   !codes
 
-let source_dirs = [ "../lib/analysis"; "../lib/core"; "../lib/sim"; "../lib/search" ]
+let source_dirs =
+  [
+    "../lib/analysis";
+    "../lib/core";
+    "../lib/sim";
+    "../lib/search";
+    (* the observability and fault layers emit through Diagnostic too (the
+       detector's lint pass, fault-plan parse errors): any code literal
+       they grow must be registered, and a registered code must not
+       survive its last emitter anywhere in these trees either *)
+    "../lib/obs";
+    "../lib/fault";
+  ]
 
 let scan_emitted_codes () =
   List.concat_map
