@@ -94,6 +94,18 @@ let entries =
        (precomputed hold arrays, indexed wait_since, stamped request
        scratch) is exactly what this measures *)
     case "sim/engine-hotpath" (fun () -> Engine.run mesh8_rt mesh_schedule);
+    (* the same hot-path workload under the coarser switching disciplines:
+       the gap against engine-hotpath prices cut-through's whole-packet
+       buffer provisioning and store-and-forward's buffered-packet gating
+       (SAF needs whole-packet buffers -- the schedule's worms are 4 flits) *)
+    case "sim/vct-hotpath"
+      (let config = { Engine.default_config with discipline = Engine.Virtual_cut_through } in
+       fun () -> Engine.run ~config mesh8_rt mesh_schedule);
+    case "sim/saf-hotpath"
+      (let config =
+         { Engine.default_config with discipline = Engine.Store_and_forward; buffer_capacity = 4 }
+       in
+       fun () -> Engine.run ~config mesh8_rt mesh_schedule);
     (* the hot-path workload with a persistent stats accumulator threaded
        through every run: the gap against sim/mesh8x8-uniform-300c is the
        price of the per-cycle counter scans (owned/busy/wait/HoL walks) *)
@@ -167,6 +179,8 @@ let smoke =
     "cdg/build-figure1";
     "cdg/cycles-figure1";
     "sim/engine-hotpath";
+    "sim/vct-hotpath";
+    "sim/saf-hotpath";
     "sim/detect-overhead";
     "sim/stats-overhead";
     "sim/adaptive-hotpath";

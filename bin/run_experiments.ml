@@ -23,6 +23,7 @@ let known =
     ("exp-mfm", `MFM);
     ("exp-a", `A);
     ("exp-sw", `SW);
+    ("exp-sw1", `SW1);
     ("exp-mc", `MC);
     ("exp-fault", `Fault);
     ("exp-detect", `Detect);
@@ -43,6 +44,7 @@ let run_one ~quick ~max_p ~detect ppf = function
   | `MFM -> Experiments.exp_mfm ~quick ppf
   | `A -> Experiments.exp_a ~quick ppf
   | `SW -> Experiments.exp_sw ~quick ppf
+  | `SW1 -> Experiments.exp_sw1 ~quick ppf
   | `MC -> Experiments.exp_mc ~quick ppf
   | `Fault -> Experiments.exp_fault ~quick ~detect ppf
   | `Detect -> Experiments.exp_detect ~quick ppf
@@ -161,8 +163,18 @@ let write_metrics path ~quick ~rows timings =
   output_string oc (Obs.Metrics.to_prometheus reg);
   close_out oc
 
-let main names quick max_p sanitize detect domains json metrics verdicts latency =
+let main names quick max_p sanitize detect discipline domains json metrics verdicts latency =
   (match domains with None -> () | Some d -> Wr_pool.set_default_domains d);
+  (match discipline with
+  | None -> ()
+  | Some spec -> (
+    match Engine.discipline_of_string spec with
+    | Some d -> Engine.set_discipline_override (Some d)
+    | None ->
+      Printf.eprintf
+        "unknown --discipline %s (wormhole/wh, virtual-cut-through/vct, store-and-forward/saf)\n"
+        spec;
+      exit 2));
   let ppf = Format.std_formatter in
   (* --latency arms the counters-first stats plane for the whole campaign:
      every engine run gets a private accumulator, proving stats-on changes
@@ -282,8 +294,8 @@ let main names quick max_p sanitize detect domains json metrics verdicts latency
 
 let names_arg =
   let doc = "Experiments to run (default: all).  One of exp-f1, exp-t2, exp-corollaries, \
-             exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-mc, \
-             exp-fault, exp-detect, exp-lint, exp-synth." in
+             exp-t3, exp-t4, exp-t5, exp-g, exp-s1, exp-s2, exp-mfm, exp-a, exp-sw, exp-sw1, \
+             exp-mc, exp-fault, exp-detect, exp-lint, exp-synth." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let quick_arg =
@@ -303,6 +315,16 @@ let detect_arg =
   let doc = "Run exp-fault's campaigns with online deadlock detection instead of the plain \
              watchdog (same no-progress backstop; claim verdicts must not change)." in
   Arg.(value & flag & info [ "detect" ] ~doc)
+
+let discipline_arg =
+  let doc = "Run every oblivious simulation under this switching discipline (wormhole, \
+             virtual-cut-through/vct, store-and-forward/saf) via the process-wide override: \
+             a campaign-level what-if that shows which deadlock verdicts flip when the \
+             switching changes.  Store-and-forward raises each run's effective buffer \
+             capacity to its longest message so wormhole-provisioned campaigns stay \
+             runnable.  exp-sw1 (the discipline matrix) pins its own disciplines and \
+             ignores the override." in
+  Arg.(value & opt (some string) None & info [ "discipline" ] ~docv:"D" ~doc)
 
 let domains_arg =
   let doc = "Domains for the parallel sweeps (default: the WORMHOLE_DOMAINS environment \
@@ -338,7 +360,7 @@ let cmd =
   let info = Cmd.info "experiments" ~doc in
   Cmd.v info
     Term.(
-      const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg $ detect_arg $ domains_arg
-      $ json_arg $ metrics_arg $ verdicts_arg $ latency_arg)
+      const main $ names_arg $ quick_arg $ max_p_arg $ sanitize_arg $ detect_arg
+      $ discipline_arg $ domains_arg $ json_arg $ metrics_arg $ verdicts_arg $ latency_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -205,6 +205,24 @@ let recovery_of faults recovery_on retry_limit watchdog detect detect_bound vict
     in
     Some { Engine.default_recovery with retry_limit; trigger; reroute }
 
+(* --discipline lint (E047/W048): SAF under-provisioning is rejected before
+   the engine does, cut-through under-provisioning gets the whole-packet
+   provisioning note.  Adaptive runs skip this: they always switch wormhole. *)
+let lint_discipline ~algorithm discipline sched buffer =
+  let max_length =
+    List.fold_left
+      (fun acc (m : Schedule.message_spec) -> max acc m.Schedule.ms_length)
+      1 sched
+  in
+  let diags =
+    Lint.discipline_config ~algorithm
+      ~discipline:(Engine.discipline_string discipline)
+      ~buffer_capacity:buffer ~max_length
+  in
+  List.iter (fun d -> Format.printf "%a@." (Diagnostic.pp ()) d) diags;
+  if List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags then
+    failwith "invalid --discipline/--buffer configuration (E047)"
+
 (* Observability wiring for --trace-out/--metrics-out: a recorder (events
    feed the Chrome exporter and the deadlock post-mortem) teed with a
    metrics fold when requested.  wormsim is a single run, so folding the
@@ -285,11 +303,19 @@ let run_oblivious ?stats topo rt sched config =
   let pm = match out with Engine.Deadlock _ | Engine.Recovered _ -> true | _ -> false in
   (Engine.is_deadlock out, pm)
 
-let main topology dims routing pattern rate length horizon permutation seed buffer faults_spec
-    recovery_on retry_limit watchdog detect detect_bound victim_policy witness trace_out
-    metrics_out stats_out =
+let main topology dims routing pattern rate length horizon permutation seed buffer
+    discipline_spec faults_spec recovery_on retry_limit watchdog detect detect_bound
+    victim_policy witness trace_out metrics_out stats_out =
   try
     let rng = Rng.create seed in
+    let discipline =
+      match Engine.discipline_of_string discipline_spec with
+      | Some d -> d
+      | None ->
+        failwith
+          ("unknown --discipline: " ^ discipline_spec
+         ^ " (wormhole/wh, virtual-cut-through/vct, store-and-forward/saf)")
+    in
     match paper_net topology with
     | Some net when witness ->
       (* sweep the intent schedule space for a deadlock witness, then
@@ -312,9 +338,22 @@ let main topology dims routing pattern rate length horizon permutation seed buff
         let obs = setup_obs trace_out metrics_out in
         (* stats cover only the witness replay, not the sweep *)
         let sctx = setup_stats net.Paper_nets.topo stats_out in
+        (* replay under --discipline: the sweep searches wormhole, but the
+           witness can be re-switched to see whether the verdict flips.
+           SAF gets whole-packet provisioning, like the campaign override *)
+        let cap =
+          let base = w.Explorer.w_config.Engine.buffer_capacity in
+          match discipline with
+          | Engine.Store_and_forward ->
+            List.fold_left
+              (fun acc (m : Schedule.message_spec) -> max acc m.Schedule.ms_length)
+              base w.Explorer.w_schedule
+          | Engine.Wormhole | Engine.Virtual_cut_through -> base
+        in
         let deadlocked, pm =
           run_oblivious ?stats:(stats_acc sctx) net.Paper_nets.topo rt
-            w.Explorer.w_schedule w.Explorer.w_config
+            w.Explorer.w_schedule
+            { w.Explorer.w_config with Engine.discipline; buffer_capacity = cap }
         in
         finalize_obs ~rt ~topo:net.Paper_nets.topo ~post_mortem:pm obs;
         finalize_stats ~topo:net.Paper_nets.topo sctx;
@@ -335,12 +374,13 @@ let main topology dims routing pattern rate length horizon permutation seed buff
           victim_policy (`Oblivious rt)
       in
       Printf.printf "network=%s messages=%d\n" topology (List.length sched);
+      lint_discipline ~algorithm:(Routing.name rt) discipline sched buffer;
       if not (Fault.is_empty faults) then
         Format.printf "faults: %a@." (Fault.pp net.Paper_nets.topo) faults;
       let sctx = setup_stats net.Paper_nets.topo stats_out in
       let deadlocked, pm =
         run_oblivious ?stats:(stats_acc sctx) net.Paper_nets.topo rt sched
-          { Engine.default_config with buffer_capacity = buffer; faults; recovery }
+          { Engine.default_config with buffer_capacity = buffer; discipline; faults; recovery }
       in
       finalize_obs ~rt ~topo:net.Paper_nets.topo ~post_mortem:pm obs;
       finalize_stats ~topo:net.Paper_nets.topo sctx;
@@ -365,6 +405,9 @@ let main topology dims routing pattern rate length horizon permutation seed buff
       in
       Printf.printf "topology=%s dims=%s routing=%s pattern=%s messages=%d\n" topology dims
         routing pat.Traffic.name (List.length sched);
+      (match algo with
+      | `Oblivious rt -> lint_discipline ~algorithm:(Routing.name rt) discipline sched buffer
+      | `Adaptive _ -> ());
       let faults = fault_plan coords.Builders.topo rng horizon faults_spec in
       if not (Fault.is_empty faults) then
         Format.printf "faults: %a@." (Fault.pp coords.Builders.topo) faults;
@@ -373,8 +416,12 @@ let main topology dims routing pattern rate length horizon permutation seed buff
           algo
       in
       let config =
-        { Engine.default_config with buffer_capacity = buffer; faults; recovery }
+        { Engine.default_config with buffer_capacity = buffer; discipline; faults; recovery }
       in
+      (match (algo, discipline) with
+      | `Adaptive _, (Engine.Virtual_cut_through | Engine.Store_and_forward) ->
+        Format.printf "note: adaptive runs always switch wormhole; --discipline ignored@."
+      | _ -> ());
       let sctx = setup_stats coords.Builders.topo stats_out in
       (match algo with
       | `Oblivious rt ->
@@ -402,7 +449,7 @@ let main topology dims routing pattern rate length horizon permutation seed buff
         finalize_obs ~topo:coords.Builders.topo ~post_mortem:pm obs;
         finalize_stats ~topo:coords.Builders.topo sctx;
         if Engine.is_deadlock out then exit 3)
-  with Failure msg ->
+  with Failure msg | Invalid_argument msg ->
     Printf.eprintf "wormsim: %s\n" msg;
     exit 2
 
@@ -434,6 +481,16 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG 
 
 let buffer_arg =
   Arg.(value & opt int 1 & info [ "buffer" ] ~docv:"FLITS" ~doc:"flit buffer capacity per channel")
+
+let discipline_arg =
+  Arg.(value & opt string "wormhole"
+    & info [ "discipline" ] ~docv:"D"
+        ~doc:"switching discipline: wormhole (wh), virtual-cut-through (vct: every channel \
+              is provisioned with a whole-packet buffer, so a blocked message compresses \
+              into its head channel), or store-and-forward (saf: the header only advances \
+              once the whole packet is buffered; needs $(b,--buffer) >= message length).  \
+              With $(b,--witness) the sweep searches wormhole and the witness replays \
+              under $(docv).  Adaptive routings always switch wormhole.")
 
 let faults_arg =
   Arg.(value & opt string "" & info [ "faults" ] ~docv:"SPEC"
@@ -508,7 +565,8 @@ let cmd =
   Cmd.v (Cmd.info "wormsim" ~doc)
     Term.(
       const main $ topo_arg $ dims_arg $ routing_arg $ pattern_arg $ rate_arg $ length_arg
-      $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg $ faults_arg $ recovery_arg
+      $ horizon_arg $ permutation_arg $ seed_arg $ buffer_arg $ discipline_arg $ faults_arg
+      $ recovery_arg
       $ retry_limit_arg $ watchdog_arg $ detect_arg $ detect_bound_arg $ victim_policy_arg
       $ witness_arg $ trace_out_arg $ metrics_out_arg $ stats_out_arg)
 

@@ -275,6 +275,18 @@ let w044 () =
   ( mesh.Builders.topo,
     Lint.reroute ~adaptive:true ~algorithm:(Adaptive.name ad) mesh.Builders.topo reroute )
 
+let e047 () =
+  let t = fault_topo () in
+  ( t,
+    Lint.discipline_config ~algorithm:"seed-e047" ~discipline:"store-and-forward"
+      ~buffer_capacity:2 ~max_length:4 )
+
+let w048 () =
+  let t = fault_topo () in
+  ( t,
+    Lint.discipline_config ~algorithm:"seed-w048" ~discipline:"virtual-cut-through"
+      ~buffer_capacity:1 ~max_length:4 )
+
 (* -- synthesis verdicts ----------------------------------------------- *)
 
 let synth_diags t = Synth.diagnostics t (Synth.synthesize t)
@@ -332,6 +344,10 @@ let entries () =
     entry "fault-double-fail" "W043" "the same channel fails permanently twice" w043;
     entry "adaptive-pinned-reroute" "W044"
       "a recovery reroute pins retried paths on an adaptive algorithm" w044;
+    entry "saf-undersized-buffers" "E047"
+      "store-and-forward with 2-flit buffers under a 4-flit message" e047;
+    entry "vct-unit-buffers" "W048"
+      "virtual cut-through with unit buffers degenerates to wormhole" w048;
     entry "ring-no-df-routing" "E060"
       "under-provisioned unidirectional 4-ring: every connector closes the cycle"
       (e060_ring 4);

@@ -182,6 +182,41 @@ let detect_config ~algorithm ~bound ~backstop =
          ~context:ctx);
   Diagnostic.by_severity (List.rev !diags)
 
+let discipline_config ~algorithm ~discipline ~buffer_capacity ~max_length =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let ctx =
+    [
+      ("discipline", discipline);
+      ("buffer_capacity", string_of_int buffer_capacity);
+      ("max_length", string_of_int max_length);
+    ]
+  in
+  (match discipline with
+  | "store-and-forward" ->
+    if buffer_capacity < max_length then
+      add
+        (Diagnostic.error "E047" (Diagnostic.Algorithm algorithm)
+           (Printf.sprintf
+              "store-and-forward with %d-flit buffers under a %d-flit message: a whole \
+               packet can never fit in one channel; the engine rejects this config -- \
+               raise buffer_capacity to at least the longest message"
+              buffer_capacity max_length)
+           ~context:ctx)
+  | "virtual-cut-through" ->
+    if buffer_capacity < max_length then
+      add
+        (Diagnostic.warning "W048" (Diagnostic.Algorithm algorithm)
+           (Printf.sprintf
+              "virtual cut-through with %d-flit buffers under a %d-flit message: \
+               undersized cut-through buffers degenerate to wormhole, so the kernel \
+               silently provisions every channel with a whole-packet buffer instead; \
+               set buffer_capacity >= the longest message to make that explicit"
+              buffer_capacity max_length)
+           ~context:ctx)
+  | _ -> ());
+  Diagnostic.by_severity (List.rev !diags)
+
 let fault_plan ?labels topo plan =
   let nchan = Topology.num_channels topo in
   let diags = ref [] in

@@ -42,7 +42,13 @@
     - [E045] nonpositive detection bound or backstop (the engine rejects
       the config at run time)
     - [W046] detection backstop at or below the detection bound: the
-      no-progress sweep preempts the detector, so detection is dead code *)
+      no-progress sweep preempts the detector, so detection is dead code
+    - [E047] store-and-forward with buffer capacity below the longest
+      message: a whole packet can never fit in one channel (the engine
+      rejects the config at run time)
+    - [W048] virtual cut-through with buffer capacity below the longest
+      message: undersized cut-through degenerates to wormhole, so the
+      kernel silently provisions whole-packet buffers instead *)
 
 val algorithm :
   ?declared_minimal:bool ->
@@ -76,6 +82,20 @@ val detect_config : algorithm:string -> bound:int -> backstop:int -> Diagnostic.
 (** Lint an online-detection recovery config (plain ints so this layer
     needs no dependency on the detector's types): nonpositive parameters
     ([E045]) and a backstop that preempts the detector ([W046]).
+    [algorithm] names the routing function the config will run under. *)
+
+val discipline_config :
+  algorithm:string ->
+  discipline:string ->
+  buffer_capacity:int ->
+  max_length:int ->
+  Diagnostic.t list
+(** Lint a switching-discipline config against a workload's longest message
+    (plain strings/ints so this layer needs no dependency on the engine's
+    types; [discipline] is the stable name ["wormhole"],
+    ["virtual-cut-through"] or ["store-and-forward"]): store-and-forward
+    under-provisioning ([E047], the engine rejects it) and cut-through
+    under-provisioning ([W048], silently raised to whole-packet buffers).
     [algorithm] names the routing function the config will run under. *)
 
 val fault_plan : ?labels:string list -> Topology.t -> Fault.plan -> Diagnostic.t list

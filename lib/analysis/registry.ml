@@ -118,6 +118,8 @@ let diagnostic_codes : (string * Diagnostic.severity * string) list =
     ("W044", Diagnostic.Warning, "adaptive algorithm with a reroute pins retried messages' routes");
     ("E045", Diagnostic.Error, "detection bound and backstop must be >= 1");
     ("W046", Diagnostic.Warning, "backstop at or under the detection bound makes detection dead code");
+    ("E047", Diagnostic.Error, "store-and-forward buffer capacity below the longest message");
+    ("W048", Diagnostic.Warning, "undersized virtual cut-through buffers are raised to whole-packet");
     ("E050", Diagnostic.Error, "Verify concludes the routing deadlocks");
     ("E051", Diagnostic.Error, "Verify found a reachable cycle with no Theorem 2-5 certificate");
     ("W052", Diagnostic.Warning, "Verify cannot conclude either way within its budget");

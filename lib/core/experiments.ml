@@ -575,7 +575,7 @@ let exp_sw ?(quick = false) ppf =
   let vct = finish { Engine.default_config with buffer_capacity = 4 } in
   let saf =
     finish
-      { Engine.default_config with buffer_capacity = 4; switching = Engine.Store_and_forward }
+      { Engine.default_config with buffer_capacity = 4; discipline = Engine.Store_and_forward }
   in
   Format.fprintf ppf "3-hop line, 4 flits: wormhole %d, cut-through %d, store-and-forward %d@\n"
     wh vct saf;
@@ -615,6 +615,220 @@ let exp_sw ?(quick = false) ppf =
       | Explorer.No_deadlock { runs } -> Printf.sprintf "no deadlock in %d runs" runs
       | Explorer.Deadlock_found { runs; _ } -> Printf.sprintf "DEADLOCK after %d runs" runs)
       (not (Explorer.is_deadlock_found v));
+  ]
+
+(* ---- EXP-SW1: the switching-discipline matrix ---- *)
+
+let exp_sw1 ?(quick = false) ppf =
+  header ppf "EXP-SW1: discipline matrix (wormhole / cut-through / SAF, deadlock taxonomy)";
+  (* every run below pins its own [config.discipline]; the process-wide
+     --discipline override (meant for whole-campaign sweeps) would collapse
+     the matrix to one column, so it is suspended for the duration *)
+  let saved = Engine.discipline_override () in
+  Engine.set_discipline_override None;
+  Fun.protect ~finally:(fun () -> Engine.set_discipline_override saved) @@ fun () ->
+  let disciplines =
+    [ Engine.Wormhole; Engine.Virtual_cut_through; Engine.Store_and_forward ]
+  in
+  let max_len sched =
+    List.fold_left
+      (fun acc (m : Schedule.message_spec) -> max acc m.Schedule.ms_length)
+      1 sched
+  in
+  (* SAF refuses capacity below the longest message; provision it the way
+     the process-wide override does, leaving the other disciplines at the
+     workload's own capacity *)
+  let config_for d base sched =
+    let cap =
+      match d with
+      | Engine.Store_and_forward -> max base (max_len sched)
+      | Engine.Wormhole | Engine.Virtual_cut_through -> base
+    in
+    { Engine.default_config with buffer_capacity = cap; discipline = d }
+  in
+  let show = function
+    | Engine.All_delivered { finished_at; _ } ->
+      Printf.sprintf "all delivered by cycle %d" finished_at
+    | Engine.Deadlock d ->
+      Printf.sprintf "deadlock (%s) at cycle %d"
+        (Engine.deadlock_class_string d.Engine.d_class)
+        d.Engine.d_cycle
+    | Engine.Cutoff { at; _ } -> Printf.sprintf "cutoff at cycle %d" at
+    | Engine.Recovered { finished_at; _ } -> Printf.sprintf "recovered by cycle %d" finished_at
+  in
+  let delivered = function Engine.All_delivered _ -> true | _ -> false in
+  let classed k = function
+    | Engine.Deadlock d -> d.Engine.d_class = k
+    | _ -> false
+  in
+  (* one matrix row: run the workload under all three disciplines (the runs
+     are independent, so fan out on the pool), print one line each *)
+  let sweep name ?faults ?(base = 1) rt sched =
+    let outs =
+      Wr_pool.map
+        (fun d ->
+          let config =
+            match faults with
+            | None -> config_for d base sched
+            | Some f -> { (config_for d base sched) with Engine.faults = f }
+          in
+          Engine.run ~config rt sched)
+        disciplines
+    in
+    List.iter2
+      (fun d o ->
+        Format.fprintf ppf "%-14s %-19s %s@\n" name (Engine.discipline_string d) (show o))
+      disciplines outs;
+    match outs with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  let matrix3 a b c = Printf.sprintf "wh %s / vct %s / saf %s" (show a) (show b) (show c) in
+  (* -- the Figure-2 witness (Theorem 4: a real deadlock through a false
+     resource cycle's shared channel) replayed under each discipline -- *)
+  let net2 = Paper_nets.figure2 () in
+  let rt2 = Cd_algorithm.of_net net2 in
+  let w2 =
+    match search_net ~quick:true net2 rt2 with
+    | Explorer.Deadlock_found { witness; _ } -> witness
+    | Explorer.No_deadlock _ -> failwith "EXP-SW1: figure-2 witness sweep found no deadlock"
+  in
+  let fig2_wh, fig2_vct, fig2_saf =
+    let outs =
+      Wr_pool.map
+        (fun d ->
+          let base = w2.Explorer.w_config.Engine.buffer_capacity in
+          let cap =
+            match d with
+            | Engine.Store_and_forward -> max base (max_len w2.Explorer.w_schedule)
+            | Engine.Wormhole | Engine.Virtual_cut_through -> base
+          in
+          Engine.run
+            ~config:
+              { w2.Explorer.w_config with Engine.discipline = d; buffer_capacity = cap }
+            rt2 w2.Explorer.w_schedule)
+        disciplines
+    in
+    List.iter2
+      (fun d o ->
+        Format.fprintf ppf "%-14s %-19s %s@\n" "fig2-witness" (Engine.discipline_string d)
+          (show o))
+      disciplines outs;
+    match outs with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  (* -- a true channel cycle: the unidirectional ring under tornado -- *)
+  let ring = Builders.ring ~unidirectional:true 4 in
+  let ring_rt = Ring_routing.clockwise ring in
+  let tornado_sched =
+    List.init 4 (fun i -> Schedule.message ~length:3 (Printf.sprintf "t%d" i) i ((i + 2) mod 4))
+  in
+  let ring_wh, ring_vct, ring_saf = sweep "ring-tornado" ring_rt tornado_sched in
+  (* -- local deadlock: an early 1-hop message drains before the tornado
+     messages (injected at cycle 4) close the knot -- *)
+  let local_sched =
+    Schedule.message ~length:1 "early" 0 1
+    :: List.init 4 (fun i ->
+           Schedule.message ~length:3 ~at:4 (Printf.sprintf "t%d" i) i ((i + 2) mod 4))
+  in
+  let local_wh, local_vct, local_saf = sweep "ring-local" ring_rt local_sched in
+  (* -- weak deadlock: a permanently failed channel parks a lone worm with
+     no wait cycle at all (recovery off, so it is reported as Deadlock) -- *)
+  let lt = Topology.create () in
+  let la = Topology.add_node lt "a" in
+  let lb = Topology.add_node lt "b" in
+  let lc = Topology.add_node lt "c" in
+  let lab = Topology.add_channel lt la lb in
+  let lbc = Topology.add_channel lt lb lc in
+  let line_rt =
+    Routing.create ~name:"line3" lt (fun input _ ->
+        match input with
+        | Routing.Inject n -> if n = la then Some lab else None
+        | Routing.From ch -> if ch = lab then Some lbc else None)
+  in
+  let weak_faults = Fault.make [ Fault.Link_failure { channel = lbc; at = 0 } ] in
+  let weak_sched = [ Schedule.message ~length:2 "w" la lc ] in
+  let weak_wh, weak_vct, weak_saf =
+    sweep "line-fault" ~faults:weak_faults line_rt weak_sched
+  in
+  (* -- classic substrates: acyclic CDGs deliver everywhere, the torus
+     wrap-around cycle deadlocks everywhere -- *)
+  let mesh = Builders.mesh [ 4; 4 ] in
+  let mesh_sched =
+    Traffic.permutation_schedule (Traffic.transpose mesh) ~coords:mesh ~length:4
+  in
+  let mesh_wh, mesh_vct, mesh_saf =
+    sweep "mesh-transpose" (Dimension_order.mesh mesh) mesh_sched
+  in
+  let torus = Builders.torus [ 5; 5 ] in
+  let torus_sched =
+    Traffic.permutation_schedule (Traffic.tornado torus) ~coords:torus ~length:8
+  in
+  let torus_wh, torus_vct, torus_saf =
+    sweep "torus-tornado" (Dimension_order.torus torus) torus_sched
+  in
+  let cube = Builders.hypercube 3 in
+  let cube_sched =
+    Traffic.permutation_schedule (Traffic.bit_complement cube) ~coords:cube ~length:4
+  in
+  let cube_wh, cube_vct, cube_saf =
+    sweep "hypercube-bc" (Dimension_order.hypercube cube) cube_sched
+  in
+  (* -- the Figure-1 false resource cycle: its designated messages deliver
+     under every discipline (quick check; exp-sw sweeps the adversarial
+     space under cut-through provisioning) -- *)
+  let net1 = Paper_nets.figure1 () in
+  let rt1 = Cd_algorithm.of_net net1 in
+  let fig1_sched =
+    List.map
+      (fun (it : Paper_nets.intent) -> Schedule.message ~length:4 it.i_label it.i_src it.i_dst)
+      net1.Paper_nets.intents
+  in
+  let fig1_wh, fig1_vct, fig1_saf = sweep "fig1-intents" rt1 fig1_sched in
+  ignore quick;
+  [
+    row "SW1/fig2-wormhole" "the Figure-2 witness deadlocks under wormhole (Theorem 4)"
+      (show fig2_wh)
+      (classed Engine.Global fig2_wh);
+    row "SW1/fig2-vct"
+      "whole-packet buffers defuse the Figure-2 witness: the deadlock needs a worm \
+       stretched across the shared channel (verdict FLIPS)"
+      (show fig2_vct) (delivered fig2_vct);
+    row "SW1/fig2-saf"
+      "store-and-forward also defuses the Figure-2 witness (verdict FLIPS)"
+      (show fig2_saf) (delivered fig2_saf);
+    row "SW1/ring-tornado"
+      "a true channel cycle (Theorem 2) deadlocks globally under every discipline \
+       (verdict HOLDS)"
+      (matrix3 ring_wh ring_vct ring_saf)
+      (classed Engine.Global ring_wh && classed Engine.Global ring_vct
+      && classed Engine.Global ring_saf);
+    row "SW1/ring-local"
+      "an early drained message turns the same wedge into a local deadlock under \
+       every discipline"
+      (matrix3 local_wh local_vct local_saf)
+      (classed Engine.Local local_wh && classed Engine.Local local_vct
+      && classed Engine.Local local_saf);
+    row "SW1/line-weak"
+      "a fault-parked worm is a weak deadlock (no wait cycle: a drain order exists) \
+       under every discipline"
+      (matrix3 weak_wh weak_vct weak_saf)
+      (classed Engine.Weak weak_wh && classed Engine.Weak weak_vct
+      && classed Engine.Weak weak_saf);
+    row "SW1/mesh-xy" "the acyclic mesh XY CDG delivers under every discipline"
+      (matrix3 mesh_wh mesh_vct mesh_saf)
+      (delivered mesh_wh && delivered mesh_vct && delivered mesh_saf);
+    row "SW1/torus-tornado"
+      "the torus wrap-around cycle deadlocks under every discipline: buffers cannot \
+       break a genuine cyclic channel dependency (verdict HOLDS)"
+      (matrix3 torus_wh torus_vct torus_saf)
+      (classed Engine.Global torus_wh && classed Engine.Global torus_vct
+      && classed Engine.Global torus_saf);
+    row "SW1/hypercube-ecube" "the acyclic hypercube e-cube CDG delivers under every discipline"
+      (matrix3 cube_wh cube_vct cube_saf)
+      (delivered cube_wh && delivered cube_vct && delivered cube_saf);
+    row "SW1/fig1-intents"
+      "the Figure-1 designated messages deliver under every discipline (the false \
+       resource cycle stays unreachable)"
+      (matrix3 fig1_wh fig1_vct fig1_saf)
+      (delivered fig1_wh && delivered fig1_vct && delivered fig1_saf);
   ]
 
 (* ---- Adaptive routing (Section-7 outlook) ---- *)
@@ -1277,6 +1491,7 @@ let all ?quick ppf =
       exp_mfm ?quick ppf;
       exp_a ?quick ppf;
       exp_sw ?quick ppf;
+      exp_sw1 ?quick ppf;
       exp_mc ?quick ppf;
       exp_fault ?quick ppf;
       exp_detect ?quick ppf;

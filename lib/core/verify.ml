@@ -192,6 +192,7 @@ let diagnostics r =
                 [
                   ("algorithm", r.algorithm);
                   ("verdict", verdict);
+                  ("class", Engine.deadlock_class_string w.Explorer.w_info.Engine.d_class);
                   ("runs", string_of_int cr.cr_search_runs);
                   ( "schedule",
                     String.concat ", "
@@ -236,7 +237,11 @@ let pp_report ppf r =
         Cycle_analysis.pp_verdict cr.cr_verdict
         (if cr.cr_searched then
            Printf.sprintf " [search: %s in %d runs]"
-             (if cr.cr_witness <> None then "witness" else "no deadlock")
+             (match cr.cr_witness with
+             | Some w ->
+               Printf.sprintf "witness (%s)"
+                 (Engine.deadlock_class_string w.Explorer.w_info.Engine.d_class)
+             | None -> "no deadlock")
              cr.cr_search_runs
          else ""))
     r.cycles;

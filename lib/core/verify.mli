@@ -51,7 +51,8 @@ val diagnostics : report -> Diagnostic.t list
 (** The report as structured diagnostics, severity-sorted: the conclusion
     becomes [E050] (deadlocks) / [W052] (undecided) / [I053] (deadlock-free),
     a confirmed per-cycle witness becomes [E051] (context: the witness
-    schedule's labels and the search run count), and a searched-but-clean
+    schedule's labels, the search run count, and the witness deadlock's
+    global/local/weak class), and a searched-but-clean
     cycle becomes [I054].  Theorem classifications of individual cycles are
     deliberately {e not} duplicated here -- {!Lint.algorithm} owns those
     ([I020]-[I023]). *)

@@ -28,6 +28,16 @@ let victim_policy_of_string = function
   | "oldest" -> Some Oldest
   | _ -> None
 
+(* Stramaglia, Keiren & Zantema's taxonomy (arXiv 2101.06015), shared by
+   the kernel witness, the online detector and the post-mortem: the three
+   layers classify from different evidence but agree on the vocabulary. *)
+type deadlock_class = Global | Local | Weak
+
+let deadlock_class_string = function
+  | Global -> "global"
+  | Local -> "local"
+  | Weak -> "weak"
+
 type config = { bound : int; backstop : int; policy : victim_policy }
 
 let default_config = { bound = 16; backstop = 512; policy = Minimal_victim }
@@ -38,6 +48,7 @@ type detection = {
   dk_members : (string * Topology.channel) list;
   dk_held : (string * Topology.channel list) list;
   dk_victims : string list;
+  dk_class : deadlock_class;
 }
 
 (* A closed wait-for cycle awaiting quiescence confirmation.  [formed] is
@@ -56,6 +67,7 @@ type t = {
   waits : (string, Topology.channel * int) Hashtbl.t;  (* label -> wanted, since *)
   mutable candidates : candidate list;
   mutable stall_horizon : int;
+  mutable delivered : int;  (* Delivered events seen since Run_start *)
 }
 
 let create cfg =
@@ -67,6 +79,7 @@ let create cfg =
     waits = Hashtbl.create 64;
     candidates = [];
     stall_horizon = 0;
+    delivered = 0;
   }
 
 let member label k = List.mem label k.mset
@@ -121,7 +134,8 @@ let feed t (e : Obs_event.t) =
     Hashtbl.reset t.owners;
     Hashtbl.reset t.waits;
     t.candidates <- [];
-    t.stall_horizon <- 0
+    t.stall_horizon <- 0;
+    t.delivered <- 0
   | Fault { kind = Planned_stall; cycle; duration; _ } ->
     t.stall_horizon <- max t.stall_horizon (cycle + duration)
   | Fault _ -> ()
@@ -156,6 +170,7 @@ let feed t (e : Obs_event.t) =
     Hashtbl.remove t.waits label;
     kill t (member label)
   | Delivered { label; _ } ->
+    t.delivered <- t.delivered + 1;
     Hashtbl.remove t.waits label;
     kill t (member label)
   | Flit { cycle; label; _ } -> touch t label cycle
@@ -225,6 +240,11 @@ let tick t ~now =
             dk_members = k.members;
             dk_held = List.map (fun (l, _) -> (l, held_sorted t l)) k.members;
             dk_victims = choose_victim t k.members;
+            (* a confirmed knot is a genuine wait cycle, never [Weak]; the
+               split is whether anyone else made it out before the knot
+               locked up (provisional -- the run-end kernel classification
+               is authoritative) *)
+            dk_class = (if t.delivered > 0 then Local else Global);
           }
       else None)
     ready
@@ -264,8 +284,9 @@ let pp_detection ?topo () ppf d =
     | Some tp -> Topology.channel_name tp c
     | None -> Printf.sprintf "channel#%d" c
   in
-  Format.fprintf ppf "knot confirmed at cycle %d (quiet since %d): %s; victim%s %s"
+  Format.fprintf ppf "knot confirmed at cycle %d (quiet since %d, %s): %s; victim%s %s"
     d.dk_cycle d.dk_formed
+    (deadlock_class_string d.dk_class)
     (String.concat " -> "
        (List.map (fun (l, c) -> Printf.sprintf "%s(%s)" l (chan c)) d.dk_members))
     (if List.length d.dk_victims = 1 then "" else "s")

@@ -47,6 +47,26 @@ val victim_policy_string : victim_policy -> string
 
 val victim_policy_of_string : string -> victim_policy option
 
+(** The Stramaglia-Keiren-Zantema deadlock taxonomy (arXiv 2101.06015),
+    shared across the kernel witness ([Engine.deadlock_info.d_class]), the
+    online detector ([detection.dk_class]) and the post-mortem
+    ([Obs_postmortem.t.pm_class]):
+
+    - [Global]: every undelivered message is permanently blocked and the
+      blocked set turns on a genuine wait-for cycle -- the paper's
+      [Deadlock].
+    - [Local]: a wait-for cycle wedged part of the traffic permanently,
+      but other messages progressed to delivery around it.
+    - [Weak]: traffic is permanently blocked yet the wait-for graph is
+      acyclic (e.g. a worm parked behind a failed link), so a drain order
+      exists -- freeing the resources in topological order would unblock
+      everyone.  Packet disciplines (VCT/SAF) expose this distinction;
+      wormhole conflates it with genuine cycles. *)
+type deadlock_class = Global | Local | Weak
+
+val deadlock_class_string : deadlock_class -> string
+(** ["global"], ["local"], ["weak"]. *)
+
 type config = {
   bound : int;
       (** Confirm a candidate cycle after this many member-quiet cycles.
@@ -76,6 +96,12 @@ type detection = {
   dk_victims : string list;
       (** Chosen victim(s); always a single label under the built-in
           policies. *)
+  dk_class : deadlock_class;
+      (** A confirmed knot is a genuine cycle, so never [Weak]: [Local]
+          when any message was delivered before confirmation, [Global]
+          otherwise.  Provisional -- messages still in flight at
+          confirmation may yet deliver; the run-end classification
+          ([Engine.deadlock_info.d_class]) is authoritative. *)
 }
 
 type t

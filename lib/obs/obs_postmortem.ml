@@ -44,6 +44,10 @@ type t = {
   pm_detections : (int * string list) list;  (* chronological *)
   pm_victims : (string * int) list;  (* chronological *)
   pm_verdict : (Cycle_analysis.analysis * Cycle_analysis.verdict) option;
+  pm_class : Obs_detect.deadlock_class option;
+      (* Some only on a "deadlock" outcome: Weak when the terminal wait-for
+         graph has no knot (acyclic wedge), Local when some message was
+         delivered before the network wedged, Global otherwise. *)
 }
 
 let knot_channels t = t.pm_cycle
@@ -96,13 +100,16 @@ let analyze ?rt events =
   let detections = ref [] in
   let victims = ref [] in
   let outcome = ref None in
+  let delivered = ref 0 in
   let last = ref 0 in
   let note_cycle e = match Obs_event.cycle_of e with Some c when c > !last -> last := c | _ -> () in
   List.iter
     (fun (e : Obs_event.t) ->
       note_cycle e;
       match e with
+      | Run_start _ -> delivered := 0
       | Run_end { outcome = o; _ } -> outcome := Some o
+      | Delivered _ -> incr delivered
       | Channel_acquire { cycle; label; channel; _ } ->
         (match Hashtbl.find_opt owners channel with
         | Some (l, s) ->
@@ -215,6 +222,14 @@ let analyze ?rt events =
     pm_detections = List.rev !detections;
     pm_victims = List.rev !victims;
     pm_verdict = verdict;
+    pm_class =
+      (match !outcome with
+      | Some "deadlock" ->
+        Some
+          (if knot = [] then Obs_detect.Weak
+           else if !delivered > 0 then Obs_detect.Local
+           else Obs_detect.Global)
+      | _ -> None);
   }
 
 let pp ?topo () ppf t =
@@ -224,8 +239,11 @@ let pp ?topo () ppf t =
     | None -> Printf.sprintf "channel#%d" c
   in
   Format.fprintf ppf "=== post-mortem ===@\n";
-  Format.fprintf ppf "outcome: %s at cycle %d@\n"
+  Format.fprintf ppf "outcome: %s%s at cycle %d@\n"
     (Option.value ~default:"(no run-end event)" t.pm_outcome)
+    (match t.pm_class with
+    | Some c -> Printf.sprintf " (%s)" (Obs_detect.deadlock_class_string c)
+    | None -> "")
     t.pm_last_cycle;
   (match t.pm_knot with
   | [] -> Format.fprintf ppf "wait-for knot: none@\n"

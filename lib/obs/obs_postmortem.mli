@@ -45,6 +45,13 @@ type t = {
   pm_verdict : (Cycle_analysis.analysis * Cycle_analysis.verdict) option;
       (** present when [rt] was given, a knot exists, and every edge of
           [pm_cycle] is a genuine CDG edge *)
+  pm_class : Obs_detect.deadlock_class option;
+      (** Stramaglia-Keiren-Zantema classification of a ["deadlock"]
+          outcome, [None] otherwise: [Weak] when the terminal wait-for
+          graph has no knot (an acyclic wedge -- a drain order exists, so
+          only faults produce it), [Local] when some message was delivered
+          before the network wedged, [Global] when none was (the paper's
+          Deadlock).  Agrees with the kernel's [d_class] on the same run. *)
 }
 
 val analyze : ?rt:Routing.t -> Obs_event.t list -> t

@@ -23,7 +23,13 @@ type t = {
   mutable st_ph_advance : int;
   mutable st_ph_fault : int;
   mutable st_ph_detect : int;
+  st_disc_runs : int array;
+  st_classes : int array;
 }
+
+(* fixed slot orders for the two small labelled rows *)
+let disciplines = [| "wormhole"; "virtual-cut-through"; "store-and-forward" |]
+let classes = [| "global"; "local"; "weak" |]
 
 let lat_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 |]
 let n_buckets = Array.length lat_bounds
@@ -48,6 +54,8 @@ let create ~nchan =
     st_ph_advance = 0;
     st_ph_fault = 0;
     st_ph_detect = 0;
+    st_disc_runs = Array.make (Array.length disciplines) 0;
+    st_classes = Array.make (Array.length classes) 0;
   }
 
 let reset t =
@@ -67,7 +75,9 @@ let reset t =
   t.st_ph_claim <- 0;
   t.st_ph_advance <- 0;
   t.st_ph_fault <- 0;
-  t.st_ph_detect <- 0
+  t.st_ph_detect <- 0;
+  Array.fill t.st_disc_runs 0 (Array.length t.st_disc_runs) 0;
+  Array.fill t.st_classes 0 (Array.length t.st_classes) 0
 
 let merge ~into src =
   if into.st_nchan <> src.st_nchan then
@@ -97,7 +107,13 @@ let merge ~into src =
   into.st_ph_claim <- into.st_ph_claim + src.st_ph_claim;
   into.st_ph_advance <- into.st_ph_advance + src.st_ph_advance;
   into.st_ph_fault <- into.st_ph_fault + src.st_ph_fault;
-  into.st_ph_detect <- into.st_ph_detect + src.st_ph_detect
+  into.st_ph_detect <- into.st_ph_detect + src.st_ph_detect;
+  for i = 0 to Array.length into.st_disc_runs - 1 do
+    into.st_disc_runs.(i) <- into.st_disc_runs.(i) + src.st_disc_runs.(i)
+  done;
+  for i = 0 to Array.length into.st_classes - 1 do
+    into.st_classes.(i) <- into.st_classes.(i) + src.st_classes.(i)
+  done
 
 let none = create ~nchan:0
 
@@ -224,6 +240,15 @@ let to_prometheus ?topo t =
     "waiter-cycles spent blocked on the channel" (fun c -> t.st_waited.(c));
   scalar "wormhole_stats_cycles_total" "counter" "kernel cycles accumulated"
     t.st_cycles;
+  Buffer.add_string buf
+    "# HELP wormhole_stats_deadlocks_total deadlock outcomes by Stramaglia-Keiren-Zantema class\n";
+  Buffer.add_string buf "# TYPE wormhole_stats_deadlocks_total counter\n";
+  Array.iteri
+    (fun i cls ->
+      Buffer.add_string buf
+        (Printf.sprintf "wormhole_stats_deadlocks_total{class=\"%s\"} %d\n" cls
+           t.st_classes.(i)))
+    classes;
   scalar "wormhole_stats_delivered_total" "counter" "messages delivered"
     t.st_delivered;
   Buffer.add_string buf
@@ -259,6 +284,16 @@ let to_prometheus ?topo t =
       ("detect", t.st_ph_detect);
       ("fault", t.st_ph_fault);
     ];
+  Buffer.add_string buf
+    "# HELP wormhole_stats_runs_by_discipline_total runs per switching discipline\n";
+  Buffer.add_string buf "# TYPE wormhole_stats_runs_by_discipline_total counter\n";
+  Array.iteri
+    (fun i d ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "wormhole_stats_runs_by_discipline_total{discipline=\"%s\"} %d\n" d
+           t.st_disc_runs.(i)))
+    disciplines;
   scalar "wormhole_stats_runs_total" "counter" "simulator runs accumulated"
     t.st_runs;
   Buffer.contents buf
@@ -286,6 +321,21 @@ let to_json ?topo t =
     (Printf.sprintf
        ",\"phases\":{\"arbitration\":%d,\"claims\":%d,\"advance\":%d,\"fault\":%d,\"detect\":%d}"
        t.st_ph_arb t.st_ph_claim t.st_ph_advance t.st_ph_fault t.st_ph_detect);
+  Buffer.add_string buf ",\"disciplines\":{";
+  Array.iteri
+    (fun i d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\":%d" (if i > 0 then "," else "") d
+           t.st_disc_runs.(i)))
+    disciplines;
+  Buffer.add_string buf "},\"deadlocks\":{";
+  Array.iteri
+    (fun i cls ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\":%d" (if i > 0 then "," else "") cls
+           t.st_classes.(i)))
+    classes;
+  Buffer.add_char buf '}';
   Buffer.add_string buf ",\"channels\":[";
   let first = ref true in
   for c = 0 to t.st_nchan - 1 do

@@ -44,7 +44,19 @@ type t = {
   mutable st_ph_advance : int;  (** movement-sweep message visits *)
   mutable st_ph_fault : int;  (** fault-sweep message visits *)
   mutable st_ph_detect : int;  (** detector ticks *)
+  st_disc_runs : int array;
+      (** runs per switching discipline, slots in {!disciplines} order *)
+  st_classes : int array;
+      (** deadlock outcomes per Stramaglia-Keiren-Zantema class, slots in
+          {!classes} order *)
 }
+
+val disciplines : string array
+(** Fixed slot labels for [st_disc_runs]:
+    [|"wormhole"; "virtual-cut-through"; "store-and-forward"|]. *)
+
+val classes : string array
+(** Fixed slot labels for [st_classes]: [|"global"; "local"; "weak"|]. *)
 
 val lat_bounds : int array
 (** Latency histogram upper bounds, in cycles: powers of two 1..4096.

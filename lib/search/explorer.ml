@@ -191,7 +191,7 @@ let explore ?(stop_at_first = true) ?domains rt sp =
           Engine.Priority (Array.to_list (Array.map (fun mi -> templates.(mi).t_label) p))
       in
       let config =
-        { Engine.buffer_capacity = buffer; arbitration; switching = Engine.Wormhole;
+        { Engine.buffer_capacity = buffer; arbitration; discipline = Engine.Wormhole;
           max_cycles = sp.max_cycles; faults = Fault.empty; recovery = None }
       in
       incr runs;

@@ -63,7 +63,7 @@ val run :
     diagnostic to flag configurations that set a reroute expecting the old
     ignore-it behavior.
 
-    [config.switching] and per-message adversarial holds ([ms_holds]) are
+    [config.discipline] and per-message adversarial holds ([ms_holds]) are
     ignored: adaptive runs always switch wormhole.
 
     @raise Invalid_argument on malformed schedules or configs. *)

@@ -3,7 +3,19 @@
 
 type arbitration = Switch_core.arbitration = Fifo | Priority of string list
 
-type switching = Switch_core.switching = Wormhole | Store_and_forward
+type discipline = Switch_core.discipline =
+  | Wormhole
+  | Virtual_cut_through
+  | Store_and_forward
+
+let discipline_string = Switch_core.discipline_string
+let discipline_of_string = Switch_core.discipline_of_string
+let set_discipline_override = Switch_core.set_discipline_override
+let discipline_override = Switch_core.discipline_override
+
+type deadlock_class = Obs_detect.deadlock_class = Global | Local | Weak
+
+let deadlock_class_string = Obs_detect.deadlock_class_string
 
 type trigger = Switch_core.trigger =
   | Watchdog of int
@@ -21,7 +33,7 @@ let default_recovery = Switch_core.default_recovery
 type config = Switch_core.config = {
   buffer_capacity : int;
   arbitration : arbitration;
-  switching : switching;
+  discipline : discipline;
   max_cycles : int;
   faults : Fault.plan;
   recovery : recovery option;
@@ -43,6 +55,7 @@ type blocked_info = Switch_core.blocked_info = {
 
 type deadlock_info = Switch_core.deadlock_info = {
   d_cycle : int;
+  d_class : deadlock_class;
   d_blocked : blocked_info list;
   d_wait_cycle : string list;
   d_occupancy : (Topology.channel * string * int) list;

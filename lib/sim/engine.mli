@@ -36,14 +36,46 @@ type arbitration = Switch_core.arbitration =
       (** same-cycle ties broken by this label order (earlier = wins);
           labels absent from the list rank last, in schedule order *)
 
-type switching = Switch_core.switching =
+type discipline = Switch_core.discipline =
   | Wormhole
       (** flits advance as soon as possible; a blocked worm spans many
           channels (the paper's model) *)
+  | Virtual_cut_through
+      (** headers advance as eagerly as wormhole, but every channel is
+          provisioned with a whole-packet buffer: a blocked message
+          compresses into its head channel and releases the upstream ones,
+          so only the channel under the header stays resource-locked *)
   | Store_and_forward
       (** the header may only advance once the whole packet is buffered in
           its current channel (requires [buffer_capacity] at least the
           longest message); the classic pre-wormhole discipline *)
+
+val discipline_string : discipline -> string
+(** ["wormhole"], ["virtual-cut-through"], ["store-and-forward"]. *)
+
+val discipline_of_string : string -> discipline option
+(** Inverse of {!discipline_string}; also accepts the short forms ["wh"],
+    ["vct"], ["saf"]. *)
+
+val set_discipline_override : discipline option -> unit
+(** Process-wide discipline override for matrix sweeps: while set, every
+    oblivious run switches under the given discipline regardless of its
+    [config.discipline] (adaptive runs always switch wormhole).  Under a
+    [Store_and_forward] override the effective buffer capacity is raised
+    to the longest scheduled message, so wormhole-provisioned campaigns
+    stay runnable.  [None] restores per-config behavior. *)
+
+val discipline_override : unit -> discipline option
+
+(** The Stramaglia-Keiren-Zantema deadlock taxonomy (arXiv 2101.06015);
+    see {!Obs_detect.deadlock_class} for the definitions.  Computed for
+    every [Deadlock] witness from the terminal wait-for/holds state:
+    [Weak] when the blocked set is acyclic (a drain order exists), else
+    [Local] when some message was delivered, else [Global]. *)
+type deadlock_class = Obs_detect.deadlock_class = Global | Local | Weak
+
+val deadlock_class_string : deadlock_class -> string
+(** ["global"], ["local"], ["weak"]. *)
 
 type trigger = Switch_core.trigger =
   | Watchdog of int
@@ -78,11 +110,11 @@ val default_recovery : recovery
 type config = Switch_core.config = {
   buffer_capacity : int;  (** flits per channel queue; >= 1 *)
   arbitration : arbitration;
-  switching : switching;
-      (** [Wormhole] with [buffer_capacity >= max length] behaves as
-          virtual cut-through (a blocked message compresses into one
-          queue, releasing upstream channels); intermediate capacities are
-          the paper's "buffered wormhole" *)
+  discipline : discipline;
+      (** switching discipline; [Virtual_cut_through] raises the
+          per-channel capacity to the longest scheduled packet ([Wormhole]
+          with [buffer_capacity >= max length] is equivalent; intermediate
+          capacities are the paper's "buffered wormhole") *)
   max_cycles : int;  (** safety cutoff; runs are expected to finish earlier *)
   faults : Fault.plan;  (** injected failures/stalls/drops; default none *)
   recovery : recovery option;
@@ -112,8 +144,12 @@ type blocked_info = Switch_core.blocked_info = {
 
 type deadlock_info = Switch_core.deadlock_info = {
   d_cycle : int;  (** cycle at which the state became permanently blocked *)
+  d_class : deadlock_class;
+      (** global/local/weak classification of the terminal blocked state *)
   d_blocked : blocked_info list;
-  d_wait_cycle : string list;  (** labels of one cycle in the wait-for graph *)
+  d_wait_cycle : string list;
+      (** labels of one cycle in the wait-for graph; empty exactly when
+          [d_class = Weak] (acyclic wedge, faults only) *)
   d_occupancy : (Topology.channel * string * int) list;
       (** channel, owning message, buffered flit count *)
 }

@@ -1,6 +1,27 @@
 type arbitration = Fifo | Priority of string list
 
-type switching = Wormhole | Store_and_forward
+type discipline = Wormhole | Virtual_cut_through | Store_and_forward
+
+let discipline_string = function
+  | Wormhole -> "wormhole"
+  | Virtual_cut_through -> "virtual-cut-through"
+  | Store_and_forward -> "store-and-forward"
+
+let discipline_of_string = function
+  | "wormhole" | "wh" -> Some Wormhole
+  | "virtual-cut-through" | "vct" -> Some Virtual_cut_through
+  | "store-and-forward" | "saf" -> Some Store_and_forward
+  | _ -> None
+
+(* Process-wide discipline override for matrix sweeps (CI, EXP-SW1): rerun
+   an existing oblivious campaign under another discipline without touching
+   every config construction site.  Same precedent as [Obs_stats.arm] /
+   [Sanitizer.install].  Under a [Store_and_forward] override the effective
+   buffer capacity is raised to the longest scheduled message so campaigns
+   provisioned for wormhole (capacity 1) stay runnable. *)
+let discipline_override_cell : discipline option Atomic.t = Atomic.make None
+let set_discipline_override d = Atomic.set discipline_override_cell d
+let discipline_override () = Atomic.get discipline_override_cell
 
 type trigger = Watchdog of int | Detect of Obs_detect.config
 
@@ -24,7 +45,7 @@ let watchdog_of r =
 type config = {
   buffer_capacity : int;
   arbitration : arbitration;
-  switching : switching;
+  discipline : discipline;
   max_cycles : int;
   faults : Fault.plan;
   recovery : recovery option;
@@ -34,7 +55,7 @@ let default_config =
   {
     buffer_capacity = 1;
     arbitration = Fifo;
-    switching = Wormhole;
+    discipline = Wormhole;
     max_cycles = 100_000;
     faults = Fault.empty;
     recovery = None;
@@ -52,8 +73,13 @@ type blocked_info = {
   b_holder : string option;
 }
 
+type deadlock_class = Obs_detect.deadlock_class = Global | Local | Weak
+
+let deadlock_class_string = Obs_detect.deadlock_class_string
+
 type deadlock_info = {
   d_cycle : int;
+  d_class : deadlock_class;
   d_blocked : blocked_info list;
   d_wait_cycle : string list;
   d_occupancy : (Topology.channel * string * int) list;
@@ -149,6 +175,28 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
   in
   if config.buffer_capacity < 1 then inv "buffer_capacity < 1";
   if config.max_cycles < 1 then inv "max_cycles < 1";
+  (* effective discipline: adaptive runs always switch wormhole (carved
+     routes have no fixed packet staging point); oblivious runs honor the
+     process-wide override, then the config *)
+  let override = if oblivious then Atomic.get discipline_override_cell else None in
+  let discipline =
+    if not oblivious then Wormhole
+    else match override with Some d -> d | None -> config.discipline
+  in
+  let max_len =
+    List.fold_left
+      (fun acc (m : Schedule.message_spec) -> max acc m.Schedule.ms_length)
+      1 sched
+  in
+  (* effective scalar capacity: an overridden store-and-forward sweep gets
+     whole-packet buffers for free (the override's point is re-running
+     wormhole-provisioned campaigns); an explicit SAF config must provision
+     them itself (validated below, lint E047) *)
+  let cap =
+    match discipline with
+    | Store_and_forward when override <> None -> max config.buffer_capacity max_len
+    | Store_and_forward | Wormhole | Virtual_cut_through -> config.buffer_capacity
+  in
   (match config.recovery with
   | None -> ()
   | Some r ->
@@ -171,18 +219,18 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
       let paths =
         match Schedule.validate_paths rt sched with Ok p -> p | Error e -> inv e
       in
-      (match config.switching with
+      (match discipline with
       | Store_and_forward ->
         List.iter
           (fun (m : Schedule.message_spec) ->
-            if m.ms_length > config.buffer_capacity then
+            if m.ms_length > cap then
               inv "store-and-forward needs buffer_capacity >= message length")
           sched
-      | Wormhole -> ());
+      | Wormhole | Virtual_cut_through -> ());
       paths
     | Adaptive _ ->
       (* no static routability check here: an adaptive function's coverage is
-         {!Adaptive.validate}'s concern, and [config.switching] is ignored
+         {!Adaptive.validate}'s concern, and [config.discipline] is ignored
          (adaptive runs always switch wormhole) *)
       let seen = Hashtbl.create 64 in
       List.iter
@@ -199,7 +247,18 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
   in
   let nchan = Topology.num_channels topo in
   let faults = Fault.compile ~nchan config.faults in
-  let cap = config.buffer_capacity in
+  (* per-channel buffer-capacity column (SoA).  Wormhole and SAF fill it
+     with the scalar capacity; virtual cut-through provisions every channel
+     for the longest scheduled packet, which is exactly what makes a
+     blocked message compress into its head channel and free the upstream
+     ones (cut-through = wormhole + whole-packet buffers in this
+     channel-queue model; see DESIGN.md section 17). *)
+  let chan_cap =
+    match discipline with
+    | Virtual_cut_through -> max cap max_len
+    | Wormhole | Store_and_forward -> cap
+  in
+  let cap_ = Array.make (max nchan 1) chan_cap in
   note_run_started ();
   (* -- observability: hoist the sink once per run; every emission site is
         guarded by [obs_on] so a disabled bus allocates nothing.  Emission
@@ -263,7 +322,14 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
   if stats_on then begin
     if st.Obs_stats.st_nchan <> nchan then
       inv "stats accumulator sized for a different topology";
-    st.Obs_stats.st_runs <- st.Obs_stats.st_runs + 1
+    st.Obs_stats.st_runs <- st.Obs_stats.st_runs + 1;
+    let di =
+      match discipline with
+      | Wormhole -> 0
+      | Virtual_cut_through -> 1
+      | Store_and_forward -> 2
+    in
+    st.Obs_stats.st_disc_runs.(di) <- st.Obs_stats.st_disc_runs.(di) + 1
   end;
   (* ---- flat message state (see the struct-of-arrays note above) ---- *)
   let specs = Array.of_list sched in
@@ -407,6 +473,13 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
   let opt_tag_ = Array.make (if oblivious then 0 else nmsg) (-1) in
   let first_opt_ = Array.make (if oblivious then 0 else nmsg) (-1) in
   let opt_row_ = Array.make (if oblivious then 0 else nmsg) unset_row in
+  (* head position for which [opt_tag_]/[opt_row_] are currently valid:
+     on a fault-free run a header that failed to move re-registers with the
+     exact same tag, row and first option next cycle, so the recomputation
+     (forced-row reads, row lookup, down-filter rescan) is skipped while a
+     worm is parked.  [min_int] = invalid; [drain] resets it because a
+     retry carves a fresh path through the same head positions. *)
+  let opt_h_ = Array.make (if oblivious then 0 else nmsg) min_int in
   let claim_order = Array.make (if oblivious then 0 else nmsg) 0 in
   let claim_count = ref 0 in
   (* pre-allocated cursors for the inner scans below: OCaml refs are heap
@@ -465,7 +538,14 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
      per-cycle loops below inline the [have_faults &&] short-circuit so a
      fault-free run pays one register test instead of a call per check *)
   let chan_down c t = have_faults && Fault.down faults c t in
-  let wormhole = config.switching = Wormhole in
+  (* wormhole and cut-through headers advance as soon as possible; a
+     store-and-forward header only requests the next channel once the whole
+     packet is staged in its current one *)
+  let header_eager =
+    match discipline with
+    | Wormhole | Virtual_cut_through -> true
+    | Store_and_forward -> false
+  in
   (* append channel [c] to an adaptive message's carved path (amortized
      doubling; [occ] grows in lockstep) *)
   let carve j c =
@@ -486,14 +566,14 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
   in
   (* oblivious: the fixed next channel, -1 for "wants nothing".  The
      store-and-forward whole-packet check ([assembled] of old) is folded in
-     behind the hoisted [wormhole] test. *)
+     behind the hoisted [header_eager] test. *)
   let wanted_chan j =
     if not (active j) then -1
     else begin
       let h = head_.(j) in
       if h = -1 then path_.(j).(0)
       else if
-        h < plen_.(j) - 1 && hold_.(j) = 0 && (wormhole || occ_.(j).(h) = len_.(j))
+        h < plen_.(j) - 1 && hold_.(j) = 0 && (header_eager || occ_.(j).(h) = len_.(j))
       then path_.(j).(h + 1)
       else -1
     end
@@ -566,6 +646,18 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
     else begin
       let h = head_.(j) in
       if h >= plen_.(j) && h >= 0 then begin opt_tag_.(j) <- -1; -1 end
+      else if (not have_faults) && h >= 0 && opt_h_.(j) = h then begin
+        (* memoized: the head has not moved since the tag/row were
+           computed, and with no faults the down-filter is static, so the
+           first usable option is simply the row's first entry *)
+        let tag = opt_tag_.(j) in
+        if tag = -1 then -1
+        else if tag = -2 then forced_.(j).(plen_.(j))
+        else begin
+          let row = opt_row_.(j) in
+          if Array.length row = 0 then -1 else Array.unsafe_get row 0
+        end
+      end
       else begin
         let forced = forced_.(j) in
         let nf = Array.length forced in
@@ -592,6 +684,7 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
         end
         else begin
           let hc = path_.(j).(h) in
+          opt_h_.(j) <- h;
           if (have_faults && Fault.down faults hc t) || chan_dst_.(hc) = dst_.(j) then begin
             opt_tag_.(j) <- -1; -1
           end
@@ -680,9 +773,10 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
         for i = 0 to k - 1 do
           let n = occ.(i) in
           buffered := !buffered + n;
-          if n < 0 || n > cap then
+          if n < 0 || n > cap_.(path.(i)) then
             viol "E102" j
-              (Printf.sprintf "buffer occupancy %d outside [0, %d] at %s %d" n cap posw i);
+              (Printf.sprintf "buffer occupancy %d outside [0, %d] at %s %d" n
+                 cap_.(path.(i)) posw i);
           if n > 0 then begin
             if owner.(path.(i)) <> j then
               viol "E102" j
@@ -805,6 +899,7 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
       wait_edge_.(j) <- -1;
       wait_since_.(j) <- max_int;
       plen_.(j) <- 0;  (* the carved route is forgotten; a retry carves afresh *)
+      opt_h_.(j) <- min_int;  (* the memoized row belongs to the old path *)
       Bytes.fill carved_mark.(j) 0 (Bytes.length carved_mark.(j)) '\000'
     end;
     Array.fill occ_.(j) 0 (Array.length occ_.(j)) 0;
@@ -1215,7 +1310,7 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
            so the sweep stops there instead of walking to 0 *)
         for i = front downto released_.(j) do
           if
-            occ.(i) > 0 && occ.(i + 1) < cap
+            occ.(i) > 0 && occ.(i + 1) < cap_.(path.(i + 1))
             && (not (have_faults && Fault.down faults path.(i) t))
             && not (have_faults && Fault.down faults path.(i + 1) t)
           then begin
@@ -1255,7 +1350,7 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
           injected_.(j) > 0
           && injected_.(j) < len_.(j)
           && injected_at_.(j) <> t
-          && occ.(0) < cap
+          && occ.(0) < cap_.(path.(0))
           && owner.(path.(0)) = j
           && not (have_faults && Fault.down faults path.(0) t)
         then begin
@@ -1541,9 +1636,26 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
           done;
           List.sort compare !acc
         in
+        (* Stramaglia-Keiren-Zantema classification from the terminal
+           state.  No wait cycle means the blocked set is acyclic -- a
+           topological drain order of the held channels exists, so the
+           wedge is [Weak] (only faults produce this: a cycle-free waiter
+           on a live free channel would have won it).  A genuine cycle is
+           [Local] when other messages made it out, [Global] when nothing
+           was ever delivered -- the paper's Deadlock. *)
+        let d_class =
+          if wait_cycle = [] then Weak
+          else begin
+            scan_flag := false;
+            for j = 0 to nmsg - 1 do
+              if delivered_at_.(j) >= 0 then scan_flag := true
+            done;
+            if !scan_flag then Local else Global
+          end
+        in
         outcome :=
-          Some (Deadlock { d_cycle = t; d_blocked = blocked; d_wait_cycle = wait_cycle;
-                           d_occupancy = occupancy })
+          Some (Deadlock { d_cycle = t; d_class; d_blocked = blocked;
+                           d_wait_cycle = wait_cycle; d_occupancy = occupancy })
       end
     end;
     (* compact the live list only on cycles where something finished *)
@@ -1562,6 +1674,12 @@ let run ?(config = default_config) ?probe ?sanitizer ?obs ?stats policy sched =
     incr cycle
   done;
   let o = match !outcome with Some o -> o | None -> assert false in
+  (if stats_on then
+     match o with
+     | Deadlock d ->
+       let ci = match d.d_class with Global -> 0 | Local -> 1 | Weak -> 2 in
+       st.Obs_stats.st_classes.(ci) <- st.Obs_stats.st_classes.(ci) + 1
+     | All_delivered _ | Cutoff _ | Recovered _ -> ());
   if stats_auto then Obs_stats.fold_armed st;
   if obs_on then begin
     let final =
@@ -1597,7 +1715,8 @@ let pp_outcome topo ppf = function
             (if s.t_retries = 1 then "y" else "ies"))
       stats
   | Deadlock d ->
-    Format.fprintf ppf "DEADLOCK at cycle %d; wait cycle: %s@\n" d.d_cycle
+    Format.fprintf ppf "DEADLOCK at cycle %d (%s); wait cycle: %s@\n" d.d_cycle
+      (deadlock_class_string d.d_class)
       (String.concat " -> " d.d_wait_cycle);
     List.iter
       (fun b ->

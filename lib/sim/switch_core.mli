@@ -24,7 +24,7 @@
 
     Mode-specific semantics kept intentionally (see DESIGN.md section 12):
     adaptive runs ignore per-message adversarial holds ([ms_holds]) and
-    [config.switching]; validation wording matches the engine the caller
+    [config.discipline]; validation wording matches the engine the caller
     used; sanitizer messages say "path position" (oblivious, fixed route)
     vs "hop" (adaptive, carved route); adaptive reroute pins the remaining
     route, making the message effectively oblivious for its retries. *)
@@ -35,15 +35,44 @@ type arbitration =
       (** same-cycle ties broken by this label order (earlier = wins);
           labels absent from the list rank last, in schedule order *)
 
-type switching =
+(** Switching discipline the flit-advance/acquire/release machinery runs
+    under (DESIGN.md section 17).  Oblivious mode only; adaptive runs
+    always switch wormhole. *)
+type discipline =
   | Wormhole
       (** flits advance as soon as possible; a blocked worm spans many
           channels (the paper's model) *)
+  | Virtual_cut_through
+      (** headers advance as eagerly as wormhole, but the per-channel
+          capacity column is provisioned for the longest scheduled packet:
+          a blocked message compresses into its head channel's buffer and
+          the release-after-tail pipeline then frees every upstream
+          channel, so only the channel under the header stays
+          resource-locked (cut-through = wormhole + whole-packet buffers
+          in this channel-queue model) *)
   | Store_and_forward
       (** the header may only advance once the whole packet is buffered in
           its current channel (requires [buffer_capacity] at least the
-          longest message); the classic pre-wormhole discipline.  Oblivious
-          mode only; adaptive runs always switch wormhole. *)
+          longest message); the classic pre-wormhole discipline *)
+
+val discipline_string : discipline -> string
+(** ["wormhole"], ["virtual-cut-through"], ["store-and-forward"]. *)
+
+val discipline_of_string : string -> discipline option
+(** Inverse of {!discipline_string}; also accepts ["wh"], ["vct"],
+    ["saf"]. *)
+
+val set_discipline_override : discipline option -> unit
+(** Process-wide discipline override for matrix sweeps (CI, EXP-SW1):
+    while set, every oblivious run switches under the given discipline
+    regardless of its [config.discipline].  Under a [Store_and_forward]
+    override the effective buffer capacity is raised to the longest
+    scheduled message so wormhole-provisioned campaigns stay runnable;
+    an explicit SAF config still validates strictly.  [None] restores
+    per-config behavior.  Same process-wide-knob precedent as
+    {!Obs_stats.arm} and [Sanitizer.install]. *)
+
+val discipline_override : unit -> discipline option
 
 type trigger =
   | Watchdog of int
@@ -82,11 +111,10 @@ val default_recovery : recovery
 type config = {
   buffer_capacity : int;  (** flits per channel queue; >= 1 *)
   arbitration : arbitration;
-  switching : switching;
-      (** [Wormhole] with [buffer_capacity >= max length] behaves as
-          virtual cut-through (a blocked message compresses into one
-          queue, releasing upstream channels); intermediate capacities are
-          the paper's "buffered wormhole" *)
+  discipline : discipline;
+      (** switching discipline; [Wormhole] with [buffer_capacity >= max
+          length] behaves as [Virtual_cut_through], and intermediate
+          capacities are the paper's "buffered wormhole" *)
   max_cycles : int;  (** safety cutoff; runs are expected to finish earlier *)
   faults : Fault.plan;  (** injected failures/stalls/drops; default none *)
   recovery : recovery option;
@@ -115,8 +143,21 @@ type blocked_info = {
       (** owner of the first wanted channel, if any *)
 }
 
+(** The Stramaglia-Keiren-Zantema taxonomy, re-exported from
+    {!Obs_detect.deadlock_class} (the dependency-order home shared with
+    the detector and the post-mortem). *)
+type deadlock_class = Obs_detect.deadlock_class = Global | Local | Weak
+
+val deadlock_class_string : deadlock_class -> string
+(** ["global"], ["local"], ["weak"]. *)
+
 type deadlock_info = {
   d_cycle : int;  (** cycle at which the state became permanently blocked *)
+  d_class : deadlock_class;
+      (** classification of the terminal blocked state: [Weak] when
+          [d_wait_cycle] is empty (acyclic wedge -- a drain order exists;
+          only faults produce this), else [Local] when some message was
+          delivered, else [Global] (the paper's Deadlock) *)
   d_blocked : blocked_info list;
   d_wait_cycle : string list;  (** labels of one cycle in the wait-for graph *)
   d_occupancy : (Topology.channel * string * int) list;

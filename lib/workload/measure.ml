@@ -3,6 +3,7 @@ type report = {
   delivered : int;
   finished_at : int;
   deadlocked : bool;
+  deadlock_class : Engine.deadlock_class option;
   recovered : bool;
   retries : int;
   avg_latency : float;
@@ -28,19 +29,20 @@ let run ?config ?stats rt sched =
           Stats.add stats (float_of_int (fin - spec.Schedule.ms_inject_at + 1)))
       results
   in
-  let finished_at, deadlocked, recovered, retries =
+  let finished_at, deadlocked, deadlock_class, recovered, retries =
     match outcome with
     | Engine.All_delivered { finished_at; messages } ->
       collect messages;
-      (finished_at, false, false, 0)
+      (finished_at, false, None, false, 0)
     | Engine.Cutoff { at; messages } ->
       collect messages;
-      (at, false, false, 0)
-    | Engine.Deadlock d -> (d.Engine.d_cycle, true, false, 0)
+      (at, false, None, false, 0)
+    | Engine.Deadlock d -> (d.Engine.d_cycle, true, Some d.Engine.d_class, false, 0)
     | Engine.Recovered { finished_at; messages; stats = rstats } ->
       collect messages;
       ( finished_at,
         false,
+        None,
         true,
         List.fold_left (fun acc (s : Engine.retry_stat) -> acc + s.t_retries) 0 rstats )
   in
@@ -49,6 +51,7 @@ let run ?config ?stats rt sched =
     delivered = Stats.count stats;
     finished_at;
     deadlocked;
+    deadlock_class;
     recovered;
     retries;
     avg_latency = Stats.mean stats;
@@ -63,7 +66,10 @@ let pp ppf r =
     "%d/%d delivered%s in %d cycles; latency avg %.1f p95 %.1f max %.0f; throughput %.3f \
      flits/cycle"
     r.delivered r.total
-    (if r.deadlocked then " (DEADLOCK)"
+    (if r.deadlocked then
+       match r.deadlock_class with
+       | Some c -> Printf.sprintf " (DEADLOCK, %s)" (Engine.deadlock_class_string c)
+       | None -> " (DEADLOCK)"
      else if r.recovered then Printf.sprintf " (recovered, %d retries)" r.retries
      else "")
     r.finished_at r.avg_latency r.p95_latency r.max_latency r.throughput

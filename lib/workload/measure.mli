@@ -5,6 +5,8 @@ type report = {
   delivered : int;
   finished_at : int;  (** last simulated cycle *)
   deadlocked : bool;
+  deadlock_class : Engine.deadlock_class option;
+      (** global/local/weak classification when [deadlocked] *)
   recovered : bool;  (** run was perturbed by faults/recovery yet terminated *)
   retries : int;  (** total aborts across all messages (0 unless recovered) *)
   avg_latency : float;  (** injection-request to tail-consumption, cycles *)

@@ -41,6 +41,8 @@ GATED = [
     "wormhole/sweep/figure2-seq",
     "wormhole/sweep/figure2-parallel",
     "wormhole/sim/engine-hotpath",
+    "wormhole/sim/vct-hotpath",
+    "wormhole/sim/saf-hotpath",
     "wormhole/sim/adaptive-hotpath",
     "wormhole/sim/mesh8x8-uniform-300c",
     "wormhole/sim/detect-overhead",

@@ -161,7 +161,7 @@ let gen_config rng topo labels =
     Switch_core.default_config with
     buffer_capacity;
     arbitration;
-    switching = (if store_forward then Switch_core.Store_and_forward else Switch_core.Wormhole);
+    discipline = (if store_forward then Switch_core.Store_and_forward else Switch_core.Wormhole);
     faults;
     recovery;
   }
@@ -186,7 +186,7 @@ let oblivious_family name base topo rt ~store_forward_ok ~seeds =
             let config = gen_config rng topo labels in
             let config =
               if store_forward_ok then config
-              else { config with switching = Switch_core.Wormhole }
+              else { config with discipline = Switch_core.Wormhole }
             in
             run_fingerprint topo ~config (Switch_core.Oblivious rt) sched);
       })
@@ -203,8 +203,42 @@ let adaptive_family name base topo ad ~routable ~seeds =
             let config = gen_config rng topo labels in
             (* adaptive runs switch wormhole; SF is rejected only for
                oblivious, but keep the matrix uniform *)
-            let config = { config with switching = Switch_core.Wormhole } in
+            let config = { config with discipline = Switch_core.Wormhole } in
             run_fingerprint topo ~config (Switch_core.Adaptive ad) sched);
+      })
+
+(* Discipline families (PR 10): the same seeded schedules re-run under
+   virtual cut-through and store-and-forward.  These pin the new
+   disciplines' decisions the same way the oblivious/adaptive families pin
+   wormhole's; the wormhole pins above them must never move.  SAF runs
+   raise the buffer capacity to the longest scheduled message (the engine
+   rejects under-provisioned store-and-forward outright). *)
+let discipline_family name base topo rt disc tag ~seeds =
+  List.init seeds (fun seed ->
+      {
+        id = Printf.sprintf "%s/%s/%d" tag name seed;
+        fp =
+          (fun () ->
+            let rng = Rng.create (0xD15C + (7919 * base) + seed) in
+            let routable s d =
+              match Routing.path rt s d with Ok _ -> true | Error _ -> false
+            in
+            let path_of s d =
+              match Routing.path rt s d with Ok p -> p | Error _ -> []
+            in
+            let sched = gen_sched rng topo ~routable ~path_of:(Some path_of) in
+            let labels = List.map (fun (m : Schedule.message_spec) -> m.ms_label) sched in
+            let config = gen_config rng topo labels in
+            let buffer_capacity =
+              match disc with
+              | Switch_core.Store_and_forward ->
+                List.fold_left
+                  (fun acc (m : Schedule.message_spec) -> max acc m.ms_length)
+                  config.Switch_core.buffer_capacity sched
+              | _ -> config.Switch_core.buffer_capacity
+            in
+            let config = { config with Switch_core.discipline = disc; buffer_capacity } in
+            run_fingerprint topo ~config (Switch_core.Oblivious rt) sched);
       })
 
 let mesh4 = Builders.mesh [ 4; 4 ]
@@ -252,6 +286,30 @@ let special_cases =
       id = "obl/torus5-tornado-deadlock";
       fp = (fun () -> run_fingerprint torus5.Builders.topo (Switch_core.Oblivious torus5_rt)
                         (tornado5 ()));
+    };
+    {
+      id = "obl/torus5-tornado-vct";
+      fp =
+        (fun () ->
+          let config =
+            { Switch_core.default_config with discipline = Switch_core.Virtual_cut_through }
+          in
+          run_fingerprint torus5.Builders.topo ~config (Switch_core.Oblivious torus5_rt)
+            (tornado5 ()));
+    };
+    {
+      id = "obl/torus5-tornado-saf";
+      fp =
+        (fun () ->
+          let config =
+            {
+              Switch_core.default_config with
+              discipline = Switch_core.Store_and_forward;
+              buffer_capacity = 8;
+            }
+          in
+          run_fingerprint torus5.Builders.topo ~config (Switch_core.Oblivious torus5_rt)
+            (tornado5 ()));
     };
     {
       id = "obl/torus5-tornado-detect";
@@ -304,6 +362,18 @@ let cases =
       ~routable:(fun s d ->
         match Routing.path fig1_rt s d with Ok _ -> true | Error _ -> false)
       ~seeds:6
+  @ discipline_family "figure2" 2 fig2.Paper_nets.topo fig2_rt
+      Switch_core.Virtual_cut_through "vct" ~seeds:4
+  @ discipline_family "figure2" 2 fig2.Paper_nets.topo fig2_rt
+      Switch_core.Store_and_forward "saf" ~seeds:4
+  @ discipline_family "mesh4x4" 4 mesh4.Builders.topo mesh4_rt
+      Switch_core.Virtual_cut_through "vct" ~seeds:4
+  @ discipline_family "mesh4x4" 4 mesh4.Builders.topo mesh4_rt
+      Switch_core.Store_and_forward "saf" ~seeds:4
+  @ discipline_family "torus4x4" 5 torus4.Builders.topo torus4_rt
+      Switch_core.Virtual_cut_through "vct" ~seeds:4
+  @ discipline_family "torus4x4" 5 torus4.Builders.topo torus4_rt
+      Switch_core.Store_and_forward "saf" ~seeds:4
 
 (* ---- pins: load, compare, regenerate ---- *)
 

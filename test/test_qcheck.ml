@@ -236,6 +236,54 @@ let prop_buffer_capacity_preserves_delivery =
       | Some t1, Some t3 -> t3 <= t1 (* more buffering can only help or tie *)
       | _ -> false)
 
+(* ---- switching disciplines ---- *)
+
+(* Cross-discipline containment on an acyclic-CDG net: wormhole delivers
+   everything there (Dally-Seitz), and virtual cut-through and
+   store-and-forward only ever hold {e more} buffering per hop, never
+   less, so each must deliver (at least) every message wormhole delivers.
+   Store-and-forward runs provision whole-packet buffers, which the
+   engine requires. *)
+let prop_disciplines_deliver_superset =
+  QCheck.Test.make ~name:"VCT/SAF deliver a superset of wormhole (acyclic CDG)"
+    ~count:(count 60) (schedule_gen mesh3)
+    (fun sched ->
+      let max_len =
+        List.fold_left (fun acc (m : Schedule.message_spec) -> max acc m.ms_length) 1 sched
+      in
+      let run discipline buffer_capacity =
+        let config = { Engine.default_config with discipline; buffer_capacity } in
+        Engine.run ~config mesh3_rt sched
+      in
+      let delivered = function
+        | Engine.All_delivered { messages; _ } ->
+          List.filter_map
+            (fun (r : Engine.message_result) ->
+              Option.map (fun _ -> r.r_label) r.r_delivered_at)
+            messages
+        | _ -> []
+      in
+      let wormhole = run Engine.Wormhole 1 in
+      let vct = delivered (run Engine.Virtual_cut_through 1) in
+      let saf = delivered (run Engine.Store_and_forward max_len) in
+      match wormhole with
+      | Engine.All_delivered _ ->
+        List.for_all
+          (fun l -> List.mem l vct && List.mem l saf)
+          (delivered wormhole)
+      | _ -> false)
+
+(* The refactor contract from the other side: asking for wormhole
+   explicitly is the pre-parameterization engine bit-for-bit, witness
+   payloads and deadlock class included (cyclic ring, so deadlock
+   outcomes are exercised too). *)
+let prop_wormhole_discipline_identity =
+  QCheck.Test.make ~name:"explicit wormhole discipline = default engine (bit-for-bit)"
+    ~count:(count 60) (schedule_gen ring5)
+    (fun sched ->
+      let config = { Engine.default_config with discipline = Engine.Wormhole } in
+      Engine.run ~config ring5_rt sched = Engine.run ring5_rt sched)
+
 (* ---- fault injection and recovery ---- *)
 
 let fault_params_gen =
@@ -625,6 +673,8 @@ let () =
       suite "simulator"
         [ prop_acyclic_never_deadlocks; prop_sim_deterministic; prop_ring_outcomes_wellformed;
           prop_buffer_capacity_preserves_delivery ];
+      suite "disciplines"
+        [ prop_disciplines_deliver_superset; prop_wormhole_discipline_identity ];
       suite "fault-recovery"
         [ prop_recovery_terminates_mesh; prop_recovery_terminates_ring;
           prop_faulted_runs_deterministic; prop_fault_plan_roundtrip ];

@@ -230,7 +230,7 @@ let test_buffer_capacity_compresses () =
 let test_saf_slower_than_wormhole () =
   let rt, a, d, _, _, _ = line3 () in
   let saf =
-    { Engine.default_config with buffer_capacity = 4; switching = Engine.Store_and_forward }
+    { Engine.default_config with buffer_capacity = 4; discipline = Engine.Store_and_forward }
   in
   let t_saf = delivered_at (Engine.run ~config:saf rt [ Schedule.message ~length:4 "m" a d ]) in
   let t_wh = delivered_at (Engine.run rt [ Schedule.message ~length:4 "m" a d ]) in
@@ -241,7 +241,7 @@ let test_saf_slower_than_wormhole () =
 let test_saf_requires_capacity () =
   let rt, a, d, _, _, _ = line3 () in
   let saf =
-    { Engine.default_config with buffer_capacity = 2; switching = Engine.Store_and_forward }
+    { Engine.default_config with buffer_capacity = 2; discipline = Engine.Store_and_forward }
   in
   Alcotest.check_raises "capacity check"
     (Invalid_argument "Engine.run: store-and-forward needs buffer_capacity >= message length")
@@ -283,7 +283,7 @@ let test_saf_ring_deadlock () =
     List.init 4 (fun i -> Schedule.message ~length:2 (Printf.sprintf "m%d" i) i ((i + 2) mod 4))
   in
   let saf =
-    { Engine.default_config with buffer_capacity = 2; switching = Engine.Store_and_forward }
+    { Engine.default_config with buffer_capacity = 2; discipline = Engine.Store_and_forward }
   in
   match Engine.run ~config:saf rt sched with
   | Engine.Deadlock d ->
